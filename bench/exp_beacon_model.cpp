@@ -1,0 +1,213 @@
+// Experiment E8 — the beacon execution model (Section 2).
+//
+// The paper's complexity unit is the beacon round: "a period of time in
+// which each node in the system receives beacon messages from all its
+// neighbors". We run the protocols over the discrete-event beacon simulator
+// (periodic jittered beacons, neighbor timeouts, propagation delay, loss,
+// mobility) and measure:
+//   (a) stabilization time in beacon intervals vs abstract-engine rounds,
+//   (b) message cost,
+//   (c) degradation under beacon loss,
+//   (d) re-stabilization after a mobility phase.
+#include <iostream>
+
+#include "adhoc/network.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/verifiers.hpp"
+#include "bench/support/table.hpp"
+#include "core/sis.hpp"
+#include "core/smm.hpp"
+#include "engine/sync_runner.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab {
+namespace {
+
+using adhoc::NetworkConfig;
+using adhoc::NetworkSimulator;
+using adhoc::SimTime;
+using adhoc::StaticPlacement;
+using bench::Table;
+using core::PointerState;
+using graph::Graph;
+using graph::IdAssignment;
+
+struct Deployment {
+  std::vector<graph::Point> points;
+  Graph g;
+};
+
+Deployment deploy(std::size_t n, double radius, std::uint64_t seed) {
+  graph::Rng rng(seed);
+  Deployment d;
+  d.g = graph::connectedRandomGeometric(n, radius, rng, &d.points);
+  return d;
+}
+
+int run() {
+  bench::banner("E8: protocols over the beacon substrate (Section 2)",
+                "beacon-driven execution stabilizes in time proportional to "
+                "abstract rounds x beacon interval, tolerating jitter, loss "
+                "and mobility");
+
+  bool allOk = true;
+  const core::SmmProtocol smm = core::smmPaper();
+
+  // (a)+(b): beacon rounds vs abstract rounds, and message cost.
+  {
+    std::cout << "SMM, static unit-disk deployments (10 seeds each):\n";
+    Table table({"n", "abstract rounds (mean)", "beacon rounds (mean)",
+                 "ratio", "beacons/node/round"});
+    for (const std::size_t n : {16u, 32u, 64u}) {
+      std::vector<double> abstractRounds;
+      std::vector<double> beaconRounds;
+      std::vector<double> msgPerNodeRound;
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        NetworkConfig config;
+        config.seed = seed;
+        const auto d = deploy(n, config.radius, seed * 7 + n);
+        const IdAssignment ids = IdAssignment::identity(n);
+
+        std::vector<PointerState> states;
+        const auto abstractResult =
+            engine::runFromClean(smm, d.g, ids, n + 2, &states);
+        allOk &= abstractResult.stabilized;
+        abstractRounds.push_back(
+            static_cast<double>(abstractResult.rounds));
+
+        StaticPlacement mobility(d.points);
+        NetworkSimulator<PointerState> sim(smm, ids, mobility, config);
+        const auto result = sim.runUntilQuiet(
+            5 * config.beaconInterval,
+            static_cast<SimTime>(4 * (n + 10)) * config.beaconInterval);
+        allOk &= result.quiet;
+        allOk &=
+            analysis::checkMatchingFixpoint(sim.currentTopology(), sim.states())
+                .ok();
+        const double rounds = static_cast<double>(sim.lastMoveTime()) /
+                              static_cast<double>(config.beaconInterval);
+        beaconRounds.push_back(rounds);
+        msgPerNodeRound.push_back(
+            static_cast<double>(result.stats.beaconsSent) /
+            (static_cast<double>(n) * sim.roundsElapsed()));
+      }
+      const auto sa = analysis::summarize(abstractRounds);
+      const auto sb = analysis::summarize(beaconRounds);
+      const auto sm = analysis::summarize(msgPerNodeRound);
+      table.addRow(n, sa.mean, sb.mean, sb.mean / std::max(sa.mean, 1.0),
+                   sm.mean);
+    }
+    table.print();
+    std::cout << "(beacons/node/round ~ 1.0 by construction: the protocol "
+                 "piggybacks on the link layer's beacons)\n\n";
+  }
+
+  // (c): beacon loss sweep, crossed with the neighbor-discovery timeout.
+  // The paper assumes the link layer masks transient losses; residual loss
+  // interacts with the timeout: once the chance of losing `timeoutFactor`
+  // consecutive beacons stops being negligible, neighbor entries flap, links
+  // appear to fail and reappear, and the protocol — correctly — keeps
+  // readjusting forever. A loss-proportionate timeout restores quiescence.
+  {
+    std::cout << "SMM under beacon loss (n=24, 10 seeds each):\n";
+    Table table({"loss prob", "timeout x", "stabilized",
+                 "beacon rounds (mean)", "beacons lost (mean)"});
+    struct LossCase {
+      double loss;
+      double timeoutFactor;
+      int minQuiet;  ///< reproduction gate; -1 = report only
+    };
+    const LossCase cases[] = {
+        {0.00, 2.5, 10}, {0.05, 2.5, 10}, {0.10, 2.5, 10},
+        {0.20, 2.5, -1},  // onset of link flapping: sometimes slow
+        {0.35, 2.5, -1},  // expected breakdown of the timeout assumption
+        {0.35, 6.0, 7},   // loss-proportionate timeout restores convergence
+    };
+    for (const LossCase& lc : cases) {
+      int quiet = 0;
+      std::vector<double> rounds;
+      std::vector<double> lost;
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        NetworkConfig config;
+        config.seed = seed;
+        config.lossProbability = lc.loss;
+        config.timeoutFactor = lc.timeoutFactor;
+        const auto d = deploy(24, config.radius, seed * 13);
+        const IdAssignment ids = IdAssignment::identity(24);
+        StaticPlacement mobility(d.points);
+        NetworkSimulator<PointerState> sim(smm, ids, mobility, config);
+        const auto result = sim.runUntilQuiet(8 * config.beaconInterval,
+                                              600 * config.beaconInterval);
+        const bool good =
+            result.quiet && analysis::checkMatchingFixpoint(
+                                sim.currentTopology(), sim.states())
+                                .ok();
+        quiet += good ? 1 : 0;
+        rounds.push_back(static_cast<double>(sim.lastMoveTime()) /
+                         static_cast<double>(config.beaconInterval));
+        lost.push_back(static_cast<double>(result.stats.beaconsLost));
+      }
+      if (lc.minQuiet >= 0) allOk &= quiet >= lc.minQuiet;
+      table.addRow(lc.loss, lc.timeoutFactor, std::to_string(quiet) + "/10",
+                   analysis::summarize(rounds).mean,
+                   analysis::summarize(lost).mean);
+    }
+    table.print();
+    std::cout << "(high loss with a short timeout makes discovered links "
+                 "flap, so the protocol keeps readjusting — the paper's "
+                 "link-layer masking assumption; a timeout sized to the "
+                 "loss rate restores quiescence)\n\n";
+  }
+
+  // (d): mobility phase, then freeze and measure re-stabilization.
+  {
+    std::cout << "SMM with random-waypoint mobility until t=60s, then "
+                 "frozen (10 seeds):\n";
+    Table table({"speed", "recovered", "re-stab. rounds after freeze (mean)"});
+    for (const double speed : {0.01, 0.03, 0.06}) {
+      int recovered = 0;
+      std::vector<double> restabRounds;
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        NetworkConfig config;
+        config.seed = seed;
+        config.radius = 0.45;
+        adhoc::RandomWaypoint::Config wp;
+        wp.speedMin = speed * 0.5;
+        wp.speedMax = speed;
+        wp.stopTime = 60 * adhoc::kSecond;
+        graph::Rng rng(seed * 17);
+        adhoc::RandomWaypoint mobility(graph::randomPoints(20, rng), wp,
+                                       seed);
+        const IdAssignment ids = IdAssignment::identity(20);
+        NetworkSimulator<PointerState> sim(smm, ids, mobility, config);
+        sim.run(wp.stopTime);
+        const auto result = sim.runUntilQuiet(
+            5 * config.beaconInterval, wp.stopTime + 600 * adhoc::kSecond);
+        const bool good =
+            result.quiet && analysis::checkMatchingFixpoint(
+                                sim.currentTopology(), sim.states())
+                                .ok();
+        recovered += good ? 1 : 0;
+        restabRounds.push_back(
+            static_cast<double>(
+                std::max<SimTime>(0, sim.lastMoveTime() - wp.stopTime)) /
+            static_cast<double>(config.beaconInterval));
+      }
+      allOk &= recovered == 10;
+      table.addRow(speed, std::to_string(recovered) + "/10",
+                   analysis::summarize(restabRounds).mean);
+    }
+    table.print();
+    std::cout << '\n';
+  }
+
+  bench::verdict(allOk,
+                 "beacon-model execution matches the abstract round model up "
+                 "to small constants and survives loss and mobility");
+  return allOk ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace selfstab
+
+int main() { return selfstab::run(); }

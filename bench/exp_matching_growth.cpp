@@ -1,0 +1,122 @@
+// Experiment E2 — Lemmas 1, 9, 10.
+//
+//   Lemma 1:  M_t ⊆ M_{t+1} (the matched set only grows).
+//   Lemma 10: for t >= 1, if any move happens at time t+1 then
+//             |M_{t+2}| >= |M_t| + 2.
+//
+// We trace |M_t| across full runs and print a sample trace plus aggregate
+// violation counts (which must be zero).
+#include <algorithm>
+#include <iostream>
+#include <set>
+
+#include "analysis/verifiers.hpp"
+#include "bench/support/families.hpp"
+#include "bench/support/table.hpp"
+#include "core/smm.hpp"
+#include "engine/fault.hpp"
+#include "engine/sync_runner.hpp"
+
+namespace selfstab {
+namespace {
+
+using bench::Table;
+using core::PointerState;
+using engine::SyncRunner;
+using graph::Graph;
+using graph::IdAssignment;
+
+std::set<graph::Edge> matchedSet(const Graph& g,
+                                 const std::vector<PointerState>& states) {
+  const auto edges = analysis::matchedEdges(g, states);
+  return {edges.begin(), edges.end()};
+}
+
+int run() {
+  bench::banner("E2: growth of the matched set (Lemmas 1, 9, 10)",
+                "matched nodes never unmatch; while active, |M| gains >= 2 "
+                "nodes every 2 rounds");
+
+  const core::SmmProtocol smm = core::smmPaper();
+  graph::Rng rng(0xE2);
+
+  // Sample trace on one instance, for the record.
+  {
+    std::cout << "Sample |M_t| trace (path(20), adversarial start):\n";
+    const Graph g = graph::path(20);
+    const IdAssignment ids = IdAssignment::identity(20);
+    auto states = engine::randomConfiguration<PointerState>(
+        g, rng, core::randomPointerState);
+    SyncRunner<PointerState> runner(smm, g, ids);
+    Table table({"t", "|M_t| (nodes)", "moves at t"});
+    table.addRow(0, matchedSet(g, states).size() * 2, "-");
+    runner.run(states, 30,
+               [&](std::size_t t, const std::vector<PointerState>&,
+                   const std::vector<PointerState>& after,
+                   std::size_t moves) {
+                 table.addRow(t + 1, matchedSet(g, after).size() * 2, moves);
+               });
+    table.print();
+    std::cout << '\n';
+  }
+
+  // Aggregate check across families, sizes, and random starts.
+  std::size_t lemma1Violations = 0;
+  std::size_t lemma10Violations = 0;
+  std::size_t windowsChecked = 0;
+  std::size_t runs = 0;
+
+  Table table({"family", "n", "runs", "L1 viol.", "L10 windows",
+               "L10 viol."});
+  for (const auto& family : bench::standardFamilies()) {
+    for (const std::size_t n : {24u, 48u}) {
+      const Graph g = family.make(n, rng);
+      const IdAssignment ids = IdAssignment::identity(g.order());
+      std::size_t famWindows = 0;
+      std::size_t famL10 = 0;
+      std::size_t famL1 = 0;
+      constexpr int kTrials = 15;
+      for (int t = 0; t < kTrials; ++t) {
+        auto states = engine::randomConfiguration<PointerState>(
+            g, rng, core::randomPointerState);
+        SyncRunner<PointerState> runner(smm, g, ids);
+        std::vector<std::size_t> counts{matchedSet(g, states).size() * 2};
+        const auto result = runner.run(
+            states, g.order() + 2,
+            [&](std::size_t, const std::vector<PointerState>& before,
+                const std::vector<PointerState>& after, std::size_t) {
+              const auto b = matchedSet(g, before);
+              const auto a = matchedSet(g, after);
+              if (!std::includes(a.begin(), a.end(), b.begin(), b.end())) {
+                ++famL1;
+              }
+              counts.push_back(a.size() * 2);
+            });
+        ++runs;
+        for (std::size_t w = 1; w + 2 < counts.size(); ++w) {
+          if (w + 2 <= result.rounds) {
+            ++famWindows;
+            if (counts[w + 2] < counts[w] + 2) ++famL10;
+          }
+        }
+      }
+      lemma1Violations += famL1;
+      lemma10Violations += famL10;
+      windowsChecked += famWindows;
+      table.addRow(family.name, g.order(), kTrials, famL1, famWindows,
+                   famL10);
+    }
+  }
+  table.print();
+  std::cout << "\ntotal runs: " << runs
+            << ", Lemma 10 windows checked: " << windowsChecked << '\n';
+
+  const bool ok = lemma1Violations == 0 && lemma10Violations == 0;
+  bench::verdict(ok, "zero violations of Lemma 1 and Lemma 10 growth");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace selfstab
+
+int main() { return selfstab::run(); }

@@ -1,0 +1,175 @@
+// Experiment E9 — solution quality.
+//
+// The protocols guarantee maximality, which classically pins quality:
+//   * a maximal matching has at least half the edges of a maximum matching,
+//   * a maximal independent set is a minimal dominating set.
+// We measure where SMM/SIS actually land relative to greedy baselines and
+// (on small instances) exact optima.
+#include <functional>
+#include <iostream>
+#include <numeric>
+
+#include "analysis/baselines.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/verifiers.hpp"
+#include "bench/support/table.hpp"
+#include "core/sis.hpp"
+#include "core/smm.hpp"
+#include "engine/fault.hpp"
+#include "engine/sync_runner.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab {
+namespace {
+
+using bench::Table;
+using core::BitState;
+using core::PointerState;
+using graph::Graph;
+using graph::IdAssignment;
+
+int run() {
+  bench::banner("E9: solution quality vs baselines",
+                "maximality pins SMM within 2x of the maximum matching; SIS "
+                "output is simultaneously an MIS and a minimal dominating "
+                "set");
+
+  bool allOk = true;
+  graph::Rng rng(0xE9);
+  const core::SmmProtocol smm = core::smmPaper();
+  const core::SisProtocol sis;
+
+  // Matching quality vs exact optimum (small n for the exact DP).
+  {
+    std::cout << "Matching size vs exact maximum (n=18, 25 instances):\n";
+    Table table({"graph family", "SMM/OPT mean", "SMM/OPT min", "greedy/OPT "
+                 "mean", ">= 0.5 always"});
+    struct FamilyCase {
+      std::string name;
+      std::function<Graph(graph::Rng&)> make;
+    };
+    const std::vector<FamilyCase> families{
+        {"gnp(18,.15)",
+         [](graph::Rng& r) { return graph::connectedErdosRenyi(18, 0.15, r); }},
+        {"gnp(18,.3)",
+         [](graph::Rng& r) { return graph::connectedErdosRenyi(18, 0.3, r); }},
+        {"udg(18,.35)",
+         [](graph::Rng& r) {
+           return graph::connectedRandomGeometric(18, 0.35, r);
+         }},
+        {"tree(18)", [](graph::Rng& r) { return graph::randomTree(18, r); }},
+    };
+    for (const auto& family : families) {
+      std::vector<double> smmRatio;
+      std::vector<double> greedyRatio;
+      bool halfAlways = true;
+      for (int t = 0; t < 25; ++t) {
+        const Graph g = family.make(rng);
+        const IdAssignment ids = IdAssignment::identity(g.order());
+        std::vector<PointerState> states;
+        const auto result =
+            engine::runFromClean(smm, g, ids, g.order() + 2, &states);
+        allOk &= result.stabilized;
+        const double smmSize =
+            static_cast<double>(analysis::matchedEdges(g, states).size());
+        const double optimum =
+            static_cast<double>(analysis::maximumMatchingSize(g));
+        const double greedySize =
+            static_cast<double>(analysis::greedyMaximalMatching(g).size());
+        if (optimum > 0) {
+          smmRatio.push_back(smmSize / optimum);
+          greedyRatio.push_back(greedySize / optimum);
+          halfAlways &= smmSize * 2.0 >= optimum;
+        }
+      }
+      allOk &= halfAlways;
+      table.addRow(family.name, analysis::summarize(smmRatio).mean,
+                   analysis::summarize(smmRatio).min,
+                   analysis::summarize(greedyRatio).mean,
+                   halfAlways ? "yes" : "NO");
+    }
+    table.print();
+    std::cout << '\n';
+  }
+
+  // Independent set quality vs greedy and (small n) exact.
+  {
+    std::cout << "Independent set size (n=40, 25 instances):\n";
+    Table table({"graph family", "SIS/OPT mean", "greedy/OPT mean",
+                 "SIS dominates (minimal)"});
+    struct FamilyCase {
+      std::string name;
+      std::function<Graph(graph::Rng&)> make;
+    };
+    const std::vector<FamilyCase> families{
+        {"gnp(40,.1)",
+         [](graph::Rng& r) { return graph::connectedErdosRenyi(40, 0.1, r); }},
+        {"udg(40,.3)",
+         [](graph::Rng& r) {
+           return graph::connectedRandomGeometric(40, 0.3, r);
+         }},
+        {"tree(40)", [](graph::Rng& r) { return graph::randomTree(40, r); }},
+    };
+    for (const auto& family : families) {
+      std::vector<double> sisRatio;
+      std::vector<double> greedyRatio;
+      bool domAlways = true;
+      for (int t = 0; t < 25; ++t) {
+        const Graph g = family.make(rng);
+        const IdAssignment ids = IdAssignment::identity(g.order());
+        std::vector<BitState> states;
+        const auto result =
+            engine::runFromClean(sis, g, ids, g.order() + 1, &states);
+        allOk &= result.stabilized;
+        const auto members = analysis::membersOf(states);
+        const double optimum =
+            static_cast<double>(analysis::maximumIndependentSetSize(g));
+        sisRatio.push_back(static_cast<double>(members.size()) / optimum);
+        greedyRatio.push_back(
+            static_cast<double>(
+                analysis::greedyMaximalIndependentSet(g).size()) /
+            optimum);
+        domAlways &= analysis::isMinimalDominatingSet(g, members);
+      }
+      allOk &= domAlways;
+      table.addRow(family.name, analysis::summarize(sisRatio).mean,
+                   analysis::summarize(greedyRatio).mean,
+                   domAlways ? "yes" : "NO");
+    }
+    table.print();
+    std::cout << '\n';
+  }
+
+  // Dominating-set economy: SIS (as a dominating set) vs the exact minimum
+  // dominating set.
+  {
+    std::cout << "SIS as dominating set vs exact minimum (n=24, 20 "
+                 "instances):\n";
+    Table table({"graph family", "|SIS|/|MinDom| mean", "max"});
+    std::vector<double> ratio;
+    for (int t = 0; t < 20; ++t) {
+      const Graph g = graph::connectedErdosRenyi(24, 0.15, rng);
+      const IdAssignment ids = IdAssignment::identity(24);
+      std::vector<BitState> states;
+      allOk &= engine::runFromClean(sis, g, ids, 30, &states).stabilized;
+      const auto members = analysis::membersOf(states);
+      ratio.push_back(
+          static_cast<double>(members.size()) /
+          static_cast<double>(analysis::minimumDominatingSetSize(g)));
+    }
+    const auto s = analysis::summarize(ratio);
+    table.addRow("gnp(24,.15)", s.mean, s.max);
+    table.print();
+    std::cout << '\n';
+  }
+
+  bench::verdict(allOk,
+                 "SMM always within 2x of optimum; SIS always an MIS and a "
+                 "minimal dominating set");
+  return allOk ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace selfstab
+
+int main() { return selfstab::run(); }

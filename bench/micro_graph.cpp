@@ -1,0 +1,84 @@
+// Microbenchmarks for the graph substrate.
+#include <benchmark/benchmark.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::graph {
+namespace {
+
+void BM_AddRemoveEdge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Graph g = connectedErdosRenyi(n, 6.0 / static_cast<double>(n), rng);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto u = static_cast<Vertex>(mix64(i) % n);
+    auto v = static_cast<Vertex>(mix64(i + 1) % n);
+    if (v == u) v = (v + 1) % static_cast<Vertex>(n);
+    benchmark::DoNotOptimize(g.toggleEdge(u, v));
+    ++i;
+  }
+}
+BENCHMARK(BM_AddRemoveEdge)->Arg(256)->Arg(4096);
+
+void BM_NeighborScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Graph g = connectedErdosRenyi(n, 8.0 / static_cast<double>(n), rng);
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (Vertex v = 0; v < g.order(); ++v) {
+      for (const Vertex w : g.neighbors(v)) total += w;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(2 * g.size()));
+}
+BENCHMARK(BM_NeighborScan)->Arg(256)->Arg(4096);
+
+void BM_ErdosRenyiGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        erdosRenyi(n, 6.0 / static_cast<double>(n), rng));
+  }
+}
+BENCHMARK(BM_ErdosRenyiGeneration)->Arg(256)->Arg(1024);
+
+void BM_UnitDiskGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const auto pts = randomPoints(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unitDiskGraph(pts, 0.1));
+  }
+}
+BENCHMARK(BM_UnitDiskGeneration)->Arg(256)->Arg(1024);
+
+void BM_Bfs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  const Graph g = connectedErdosRenyi(n, 6.0 / static_cast<double>(n), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfsDistances(g, 0));
+  }
+}
+BENCHMARK(BM_Bfs)->Arg(256)->Arg(4096);
+
+void BM_DegeneracyOrder(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const Graph g = connectedErdosRenyi(n, 6.0 / static_cast<double>(n), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(degeneracyOrder(g));
+  }
+}
+BENCHMARK(BM_DegeneracyOrder)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace selfstab::graph
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Microbenchmarks for the beacon-model simulator: events/second and cost of
+// simulated protocol time.
+#include <benchmark/benchmark.h>
+
+#include "adhoc/network.hpp"
+#include "core/sis.hpp"
+#include "core/smm.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::adhoc {
+namespace {
+
+using core::BitState;
+using core::PointerState;
+using graph::IdAssignment;
+
+std::vector<graph::Point> points(std::size_t n, std::uint64_t seed) {
+  graph::Rng rng(seed);
+  std::vector<graph::Point> pts;
+  graph::connectedRandomGeometric(n, 0.3, rng, &pts);
+  return pts;
+}
+
+void BM_BeaconSecondsSimulated(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::SisProtocol sis;
+  const IdAssignment ids = IdAssignment::identity(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    NetworkConfig config;
+    config.seed = 9;
+    StaticPlacement mobility(points(n, 5));
+    NetworkSimulator<BitState> sim(sis, ids, mobility, config);
+    state.ResumeTiming();
+    sim.run(10 * kSecond);
+    benchmark::DoNotOptimize(sim.stats().beaconsSent);
+  }
+}
+BENCHMARK(BM_BeaconSecondsSimulated)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_MobileSimulation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::SmmProtocol smm = core::smmPaper();
+  const IdAssignment ids = IdAssignment::identity(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    NetworkConfig config;
+    config.seed = 11;
+    config.radius = 0.4;
+    RandomWaypoint::Config wp;
+    wp.speedMin = 0.02;
+    wp.speedMax = 0.05;
+    graph::Rng rng(7);
+    RandomWaypoint mobility(graph::randomPoints(n, rng), wp, 3);
+    NetworkSimulator<PointerState> sim(smm, ids, mobility, config);
+    state.ResumeTiming();
+    sim.run(10 * kSecond);
+    benchmark::DoNotOptimize(sim.stats().moves);
+  }
+}
+BENCHMARK(BM_MobileSimulation)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace selfstab::adhoc
+
+BENCHMARK_MAIN();

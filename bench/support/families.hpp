@@ -1,0 +1,66 @@
+// Shared graph-family registry for the experiment binaries.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/id_order.hpp"
+
+namespace selfstab::bench {
+
+struct Family {
+  std::string name;
+  std::function<graph::Graph(std::size_t n, graph::Rng& rng)> make;
+};
+
+/// The structured + random families every sweep uses. Sizes are taken as
+/// "approximately n": grid rounds to a 4-wide mesh.
+inline std::vector<Family> standardFamilies() {
+  return {
+      {"path", [](std::size_t n, graph::Rng&) { return graph::path(n); }},
+      {"cycle", [](std::size_t n, graph::Rng&) { return graph::cycle(n); }},
+      {"star", [](std::size_t n, graph::Rng&) { return graph::star(n); }},
+      {"complete",
+       [](std::size_t n, graph::Rng&) { return graph::complete(n); }},
+      {"bintree",
+       [](std::size_t n, graph::Rng&) { return graph::binaryTree(n); }},
+      {"grid4",
+       [](std::size_t n, graph::Rng&) { return graph::grid(n / 4 + 1, 4); }},
+      {"gnp(4/n)",
+       [](std::size_t n, graph::Rng& rng) {
+         return graph::connectedErdosRenyi(
+             n, 4.0 / static_cast<double>(n), rng);
+       }},
+      {"udg(r=.3)",
+       [](std::size_t n, graph::Rng& rng) {
+         return graph::connectedRandomGeometric(n, 0.3, rng);
+       }},
+  };
+}
+
+/// The ID orders every sweep uses.
+struct IdOrderCase {
+  std::string name;
+  std::function<graph::IdAssignment(std::size_t n, graph::Rng& rng)> make;
+};
+
+inline std::vector<IdOrderCase> standardIdOrders() {
+  return {
+      {"identity",
+       [](std::size_t n, graph::Rng&) {
+         return graph::IdAssignment::identity(n);
+       }},
+      {"reversed",
+       [](std::size_t n, graph::Rng&) {
+         return graph::IdAssignment::reversed(n);
+       }},
+      {"random",
+       [](std::size_t n, graph::Rng& rng) {
+         return graph::IdAssignment::randomPermutation(n, rng);
+       }},
+  };
+}
+
+}  // namespace selfstab::bench

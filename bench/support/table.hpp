@@ -1,0 +1,89 @@
+// Minimal fixed-width table printer for the experiment binaries.
+#pragma once
+
+#include <cstddef>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace selfstab::bench {
+
+/// Accumulates rows of stringified cells and prints them with columns padded
+/// to the widest cell. Keeps experiment output readable and diff-friendly.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  template <typename... Cells>
+  void addRow(const Cells&... cells) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(cells));
+    (row.push_back(toCell(cells)), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  void print(std::ostream& out = std::cout) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    printRow(out, header_, widths);
+    std::size_t total = 0;
+    for (const std::size_t w : widths) total += w + 2;
+    out << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) printRow(out, row, widths);
+  }
+
+ private:
+  template <typename T>
+  static std::string toCell(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream ss;
+      ss << std::fixed << std::setprecision(2) << value;
+      return ss.str();
+    } else {
+      std::ostringstream ss;
+      ss << value;
+      return ss.str();
+    }
+  }
+
+  static void printRow(std::ostream& out, const std::vector<std::string>& row,
+                       const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+          << row[c];
+    }
+    out << '\n';
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints the standard experiment banner.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "==============================================================="
+               "=================\n"
+            << id << '\n'
+            << "Paper claim: " << claim << '\n'
+            << "==============================================================="
+               "=================\n";
+}
+
+/// Prints a one-line verdict the harness (and EXPERIMENTS.md) keys off.
+inline void verdict(bool ok, const std::string& what) {
+  std::cout << (ok ? "[REPRODUCED] " : "[MISMATCH]   ") << what << "\n\n";
+}
+
+}  // namespace selfstab::bench

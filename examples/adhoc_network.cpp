@@ -1,0 +1,113 @@
+// Full-stack demonstration of the paper's system model (Section 2).
+//
+// Everything at once: periodic jittered beacons, neighbor discovery with
+// timeouts, message loss, random-waypoint mobility, AND a transient fault —
+// halfway through, a memory fault scrambles every node's protocol state.
+// Algorithm SMM shrugs both off and re-stabilizes. The example prints a
+// narrated timeline so you can watch the link layer and the protocol layer
+// interact.
+#include <iomanip>
+#include <iostream>
+
+#include "adhoc/network.hpp"
+#include "analysis/node_types.hpp"
+#include "analysis/verifiers.hpp"
+#include "core/smm.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace selfstab;
+  using adhoc::kSecond;
+
+  constexpr std::size_t kHosts = 20;
+
+  adhoc::NetworkConfig config;
+  config.seed = 2026;
+  config.radius = 0.4;
+  config.beaconInterval = 100 * adhoc::kMillisecond;
+  config.jitterFraction = 0.1;
+  config.lossProbability = 0.1;
+
+  adhoc::RandomWaypoint::Config wp;
+  wp.speedMin = 0.01;
+  wp.speedMax = 0.03;
+  wp.stopTime = 30 * kSecond;
+
+  graph::Rng rng(11);
+  adhoc::RandomWaypoint mobility(graph::randomPoints(kHosts, rng), wp, 5);
+  const graph::IdAssignment ids = graph::IdAssignment::identity(kHosts);
+  const core::SmmProtocol smm = core::smmPaper();
+  adhoc::NetworkSimulator<core::PointerState> sim(smm, ids, mobility, config);
+
+  const auto report = [&](const char* phase) {
+    const graph::Graph topo = sim.currentTopology();
+    const auto states = sim.states();
+    const auto pairs = analysis::matchedEdges(topo, states);
+    std::cout << std::setw(6) << sim.now() / kSecond << "s  " << std::setw(22)
+              << phase << "  links=" << std::setw(3) << topo.size()
+              << "  pairs=" << std::setw(2) << pairs.size()
+              << "  beacons=" << std::setw(6) << sim.stats().beaconsSent
+              << " (lost " << sim.stats().beaconsLost << ")"
+              << "  moves=" << std::setw(4) << sim.stats().moves << '\n';
+  };
+
+  std::cout << "time   phase                   network / protocol counters\n"
+            << "-------------------------------------------------------------"
+               "---\n";
+
+  // Phase 1: hosts roam for 30 simulated seconds.
+  for (int tick = 1; tick <= 3; ++tick) {
+    sim.run(tick * 10 * kSecond);
+    report(tick == 3 ? "mobility stops" : "roaming");
+  }
+
+  // Phase 2: quiesce on the frozen topology.
+  auto quiet = sim.runUntilQuiet(5 * config.beaconInterval,
+                                 sim.now() + 120 * kSecond);
+  report("stabilized");
+  {
+    const graph::Graph topo = sim.currentTopology();
+    std::cout << "       -> maximal matching on the live topology: "
+              << std::boolalpha
+              << analysis::checkMatchingFixpoint(topo, sim.states()).ok()
+              << " (quiet=" << quiet.quiet << ")\n";
+  }
+
+  // Phase 3: transient fault — scramble every pointer.
+  {
+    graph::Rng corruption(999);
+    const graph::Graph topo = sim.currentTopology();
+    auto scrambled = sim.states();
+    for (graph::Vertex v = 0; v < kHosts; ++v) {
+      scrambled[v] = core::wildPointerState(v, topo, corruption);
+    }
+    sim.setStates(std::move(scrambled));
+    report("TRANSIENT FAULT");
+  }
+
+  // Phase 4: self-stabilization repairs it, no coordinator, no reset.
+  quiet = sim.runUntilQuiet(5 * config.beaconInterval,
+                            sim.now() + 120 * kSecond);
+  report("recovered");
+  const graph::Graph topo = sim.currentTopology();
+  const bool ok = quiet.quiet &&
+                  analysis::checkMatchingFixpoint(topo, sim.states()).ok();
+  std::cout << "       -> recovered to a verified maximal matching: "
+            << std::boolalpha << ok << '\n';
+
+  // Node-type census of the final configuration (paper, Figure 2).
+  const auto types = analysis::classifyNodes(topo, sim.states());
+  const auto counts = analysis::countTypes(types);
+  std::cout << "       -> final node types: M=" << counts.of(analysis::NodeType::M)
+            << " A0=" << counts.of(analysis::NodeType::A0)
+            << " (all others 0: "
+            << (counts.of(analysis::NodeType::A1) +
+                        counts.of(analysis::NodeType::PA) +
+                        counts.of(analysis::NodeType::PM) +
+                        counts.of(analysis::NodeType::PP) ==
+                    0
+                    ? "yes"
+                    : "no")
+            << ")\n";
+  return ok ? 0 : 1;
+}

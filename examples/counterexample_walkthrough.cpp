@@ -1,0 +1,88 @@
+// A round-by-round walkthrough of the paper's Section 3 counterexample.
+//
+// "It is interesting to note that in rule R2 of Algorithm SMM, it is
+//  necessary that i select a minimum neighbor j, rather than an arbitrary
+//  neighbor. For if we were to omit this requirement, the algorithm may not
+//  stabilize: Consider a four cycle, with all pointers initially null,
+//  which repeatedly select their clockwise neighbor using rule R2, and then
+//  execute rule R3."
+//
+// This program replays exactly that schedule and prints every
+// configuration with its node-type classification (Figure 2), then shows
+// the min-ID rule resolving the same instance. Output is a teaching aid —
+// the machine-checked version lives in bench/exp_counterexample.
+#include <iomanip>
+#include <iostream>
+
+#include "analysis/node_types.hpp"
+#include "core/smm.hpp"
+#include "engine/cycle_detection.hpp"
+#include "engine/sync_runner.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace selfstab;
+
+std::string show(const core::PointerState& s) {
+  return s.isNull() ? "Λ" : std::to_string(s.ptr);
+}
+
+void printConfig(const graph::Graph& g, std::size_t round,
+                 const std::vector<core::PointerState>& states) {
+  const auto types = analysis::classifyNodes(g, states);
+  std::cout << "  t=" << round << ":  ";
+  for (graph::Vertex v = 0; v < states.size(); ++v) {
+    std::cout << v << "→" << show(states[v]) << " ["
+              << analysis::toString(types[v]) << "]  ";
+  }
+  std::cout << '\n';
+}
+
+void replay(const core::SmmProtocol& protocol, const graph::Graph& g,
+            std::size_t rounds) {
+  const auto ids = graph::IdAssignment::identity(g.order());
+  engine::SyncRunner<core::PointerState> runner(protocol, g, ids);
+  std::vector<core::PointerState> states(g.order());
+  printConfig(g, 0, states);
+  for (std::size_t r = 1; r <= rounds; ++r) {
+    const std::size_t moves = runner.step(states);
+    printConfig(g, r, states);
+    if (moves == 0) {
+      std::cout << "  -> fixpoint (no node privileged)\n";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const graph::Graph c4 = graph::cycle(4);
+  const auto ids = graph::IdAssignment::identity(4);
+
+  std::cout << "The four-cycle 0-1-2-3-0, all pointers initially null.\n\n"
+            << "1) R2 picks the CLOCKWISE neighbor (the paper's broken "
+               "schedule):\n";
+  const core::SmmProtocol broken = core::smmArbitrary(core::Choice::Successor);
+  replay(broken, c4, 6);
+
+  const auto certificate = engine::traceTrajectory(
+      broken, c4, ids, std::vector<core::PointerState>(4), 1000);
+  std::cout << "\n  certificate: configuration at t="
+            << certificate.cycleStart << " recurs every "
+            << certificate.cycleLength
+            << " rounds -> the protocol NEVER stabilizes.\n"
+            << "  (everyone proposes clockwise via R2; every pointer's "
+               "target points elsewhere,\n   so everyone backs off via R3; "
+               "repeat forever.)\n\n";
+
+  std::cout << "2) R2 picks the MINIMUM-ID null neighbor (the paper's "
+               "Algorithm SMM):\n";
+  const core::SmmProtocol fixed = core::smmPaper();
+  replay(fixed, c4, 8);
+  std::cout << "\n  min-ID proposals collide pairwise (the smallest-ID "
+               "node's proposal is mutual),\n  so matches lock in and the "
+               "system stabilizes within n+1 rounds (Theorem 1).\n";
+  return certificate.cycled ? 0 : 1;
+}

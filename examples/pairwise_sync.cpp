@@ -1,0 +1,85 @@
+// Pairwise data exchange scheduling via maximal matching.
+//
+// A classic use of matchings in radio networks: in each "epoch", paired
+// neighbors get a dedicated slot to exchange state (file chunks, routing
+// tables, sensor aggregates) without contention — a node can talk to at
+// most one partner at a time, which is exactly the matching constraint, and
+// maximality means no two idle neighbors are left staring at each other.
+//
+// This example drives Algorithm SMM through repeated epochs on a changing
+// topology: after every epoch a few links fail or appear (hosts drift), the
+// protocol repairs the matching, and we account for the work every node got
+// done. It runs on the abstract synchronous engine (rounds = beacon
+// intervals in the deployed system).
+#include <iomanip>
+#include <iostream>
+
+#include "analysis/verifiers.hpp"
+#include "core/smm.hpp"
+#include "engine/fault.hpp"
+#include "engine/sync_runner.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace selfstab;
+
+  constexpr std::size_t kHosts = 40;
+  constexpr int kEpochs = 12;
+  constexpr std::size_t kChurnPerEpoch = 3;
+
+  graph::Rng rng(1234);
+  graph::Graph g = graph::connectedErdosRenyi(kHosts, 0.12, rng);
+  const graph::IdAssignment ids = graph::IdAssignment::identity(kHosts);
+  const core::SmmProtocol smm = core::smmPaper();
+
+  // Bytes exchanged per host across all epochs (one matched slot = 1 unit).
+  std::vector<std::size_t> unitsExchanged(kHosts, 0);
+  std::vector<core::PointerState> states(kHosts);  // all-null start
+
+  std::cout << "epoch  links  repair-rounds  pairs  paired%  verified\n";
+  std::cout << "------------------------------------------------------\n";
+
+  std::size_t totalRepairRounds = 0;
+  for (int epoch = 1; epoch <= kEpochs; ++epoch) {
+    // Re-stabilize the matching on the current topology, reusing the state
+    // left over from the previous epoch (self-stabilization does the
+    // repair; no global reset needed).
+    engine::SyncRunner<core::PointerState> runner(smm, g, ids);
+    const auto result = runner.run(states, kHosts + 2);
+    totalRepairRounds += result.rounds;
+
+    const auto pairs = analysis::matchedEdges(g, states);
+    const bool ok = result.stabilized &&
+                    analysis::checkMatchingFixpoint(g, states).ok();
+    for (const auto& e : pairs) {
+      ++unitsExchanged[e.u];
+      ++unitsExchanged[e.v];
+    }
+
+    std::cout << std::setw(5) << epoch << "  " << std::setw(5) << g.size()
+              << "  " << std::setw(13) << result.rounds << "  "
+              << std::setw(5) << pairs.size() << "  " << std::setw(6)
+              << std::fixed << std::setprecision(1)
+              << 100.0 * 2.0 * static_cast<double>(pairs.size()) / kHosts
+              << "%  " << std::boolalpha << ok << '\n';
+
+    // Hosts drift: a few links flip before the next epoch.
+    engine::perturbTopology(g, rng, kChurnPerEpoch, /*keepConnected=*/true);
+  }
+
+  std::size_t busiest = 0;
+  std::size_t idlest = unitsExchanged[0];
+  for (const std::size_t u : unitsExchanged) {
+    busiest = std::max(busiest, u);
+    idlest = std::min(idlest, u);
+  }
+  std::cout << "------------------------------------------------------\n"
+            << "total repair rounds over " << kEpochs
+            << " epochs: " << totalRepairRounds << " (avg "
+            << std::setprecision(2)
+            << static_cast<double>(totalRepairRounds) / kEpochs
+            << "/epoch)\n"
+            << "slots per host: max " << busiest << ", min " << idlest
+            << " of " << kEpochs << " epochs\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# One-shot reproduction: configure, build, run the full test suite, then
+# every experiment and microbenchmark, teeing outputs next to the sources.
+#
+#   scripts/run_all.sh [build-dir]
+#
+# Exit status is non-zero if the build, any test, or any experiment's
+# reproduction gate fails.
+set -eu
+
+BUILD_DIR="${1:-build}"
+ROOT="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -G Ninja -S "$ROOT"
+cmake --build "$BUILD_DIR"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 \
+  | tee "$ROOT/test_output.txt"
+
+: > "$ROOT/bench_output.txt"
+status=0
+for b in "$BUILD_DIR"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "==> $b" | tee -a "$ROOT/bench_output.txt"
+  if ! "$b" >> "$ROOT/bench_output.txt" 2>&1; then
+    echo "FAILED: $b" | tee -a "$ROOT/bench_output.txt"
+    status=1
+  fi
+done
+
+exit "$status"

@@ -1,0 +1,66 @@
+// Deterministic discrete-event queue.
+//
+// Ties at equal timestamps are broken by insertion order (a monotone
+// sequence number), so simulations replay identically for a given seed.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "adhoc/sim_time.hpp"
+
+namespace selfstab::adhoc {
+
+template <typename Event>
+class EventQueue {
+ public:
+  /// Schedules `event` at absolute time `at` (must be >= now()).
+  void schedule(SimTime at, Event event) {
+    assert(at >= now_);
+    heap_.push(Entry{at, nextSeq_++, std::move(event)});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Current simulation time: the timestamp of the last popped event.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Timestamp of the next event; queue must be non-empty.
+  [[nodiscard]] SimTime nextTime() const {
+    assert(!heap_.empty());
+    return heap_.top().at;
+  }
+
+  /// Removes and returns the earliest event, advancing now().
+  Event pop() {
+    assert(!heap_.empty());
+    Entry top = heap_.top();
+    heap_.pop();
+    now_ = top.at;
+    return std::move(top.event);
+  }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Event event;
+
+    // std::priority_queue is a max-heap; invert so earliest (then lowest
+    // seq) pops first.
+    friend bool operator<(const Entry& a, const Entry& b) noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry> heap_;
+  std::uint64_t nextSeq_ = 0;
+  SimTime now_ = 0;
+};
+
+}  // namespace selfstab::adhoc

@@ -1,0 +1,54 @@
+#include "adhoc/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace selfstab::adhoc {
+
+using graph::Point;
+using graph::Vertex;
+
+RandomWaypoint::RandomWaypoint(std::vector<Point> start, Config config,
+                               std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  legs_.reserve(start.size());
+  for (const Point& p : start) {
+    // Begin with a zero-length leg so the first position query spawns a
+    // fresh trajectory from the starting point.
+    legs_.push_back(Leg{p, p, 0, 0});
+  }
+}
+
+RandomWaypoint::Leg RandomWaypoint::nextLeg(const Leg& current) {
+  // Alternate travel legs with pause legs when a pause is configured.
+  const bool justTravelled = !(current.from == current.to);
+  if (justTravelled && config_.pause > 0) {
+    return Leg{current.to, current.to, current.end, current.end + config_.pause};
+  }
+  const Point target{rng_.real(), rng_.real()};
+  const double speed = rng_.real(config_.speedMin, config_.speedMax);
+  const double dist = graph::distance(current.to, target);
+  const double seconds = speed > 0 ? dist / speed : 0.0;
+  const auto duration =
+      std::max<SimTime>(1, static_cast<SimTime>(seconds * kSecond));
+  return Leg{current.to, target, current.end, current.end + duration};
+}
+
+void RandomWaypoint::advance(Vertex v, SimTime t) {
+  Leg& leg = legs_[v];
+  while (leg.end < t) leg = nextLeg(leg);
+}
+
+Point RandomWaypoint::position(Vertex v, SimTime t) {
+  if (config_.stopTime >= 0) t = std::min(t, config_.stopTime);
+  advance(v, t);
+  const Leg& leg = legs_[v];
+  if (leg.end == leg.start) return leg.to;
+  const double frac = static_cast<double>(t - leg.start) /
+                      static_cast<double>(leg.end - leg.start);
+  const double clamped = std::clamp(frac, 0.0, 1.0);
+  return Point{leg.from.x + clamped * (leg.to.x - leg.from.x),
+               leg.from.y + clamped * (leg.to.y - leg.from.y)};
+}
+
+}  // namespace selfstab::adhoc

@@ -1,0 +1,86 @@
+// Host mobility models.
+//
+// The paper's topology changes come from "mobility of the hosts" (Section 1).
+// We model nodes moving in the unit square; radio links exist between hosts
+// within transmission radius (unit-disk connectivity), so movement creates
+// and destroys links exactly as the neighbor-discovery protocol expects.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "adhoc/sim_time.hpp"
+#include "graph/geometry.hpp"
+#include "graph/graph.hpp"
+#include "graph/rng.hpp"
+
+namespace selfstab::adhoc {
+
+/// Position provider. position() may be called with non-decreasing times per
+/// vertex interleaved arbitrarily across vertices; implementations advance
+/// internal trajectories lazily.
+class Mobility {
+ public:
+  Mobility() = default;
+  Mobility(const Mobility&) = delete;
+  Mobility& operator=(const Mobility&) = delete;
+  virtual ~Mobility() = default;
+
+  [[nodiscard]] virtual std::size_t order() const = 0;
+  [[nodiscard]] virtual graph::Point position(graph::Vertex v, SimTime t) = 0;
+};
+
+/// Hosts that never move.
+class StaticPlacement final : public Mobility {
+ public:
+  explicit StaticPlacement(std::vector<graph::Point> points)
+      : points_(std::move(points)) {}
+
+  [[nodiscard]] std::size_t order() const override { return points_.size(); }
+
+  [[nodiscard]] graph::Point position(graph::Vertex v, SimTime) override {
+    return points_[v];
+  }
+
+ private:
+  std::vector<graph::Point> points_;
+};
+
+/// Random waypoint: each host repeatedly picks a uniform target in the unit
+/// square and a uniform speed in [speedMin, speedMax] (units per second),
+/// travels there in a straight line, pauses, and repeats. Movement can be
+/// frozen after `stopTime` so experiments can wait for re-stabilization on a
+/// then-static topology.
+class RandomWaypoint final : public Mobility {
+ public:
+  struct Config {
+    double speedMin = 0.01;   ///< unit-square widths per second
+    double speedMax = 0.05;
+    SimTime pause = 0;        ///< dwell time at each waypoint
+    SimTime stopTime = -1;    ///< freeze movement after this time; -1 = never
+  };
+
+  RandomWaypoint(std::vector<graph::Point> start, Config config,
+                 std::uint64_t seed);
+
+  [[nodiscard]] std::size_t order() const override { return legs_.size(); }
+
+  [[nodiscard]] graph::Point position(graph::Vertex v, SimTime t) override;
+
+ private:
+  struct Leg {
+    graph::Point from;
+    graph::Point to;
+    SimTime start = 0;
+    SimTime end = 0;  ///< arrival time; a pause leg has from == to
+  };
+
+  void advance(graph::Vertex v, SimTime t);
+  Leg nextLeg(const Leg& current);
+
+  std::vector<Leg> legs_;
+  Config config_;
+  Rng rng_;
+};
+
+}  // namespace selfstab::adhoc

@@ -1,0 +1,326 @@
+// Discrete-event simulation of the paper's system model (Section 2).
+//
+// Each node periodically broadcasts a beacon carrying its protocol state.
+// Receivers cache (sender, state, timestamp); a neighbor not heard from
+// within the timeout is presumed gone and dropped (the neighbor-discovery
+// protocol). Immediately before sending its own beacon — i.e. once per
+// beacon interval, after it has had the chance to hear every neighbor, the
+// paper's definition of a round — a node evaluates its protocol rules
+// against the cached neighbor states and moves if privileged.
+//
+// The same Protocol objects that run under the abstract synchronous engine
+// run here unchanged; the LocalView is simply built from beacon caches
+// instead of a global snapshot. Radio connectivity is unit-disk over a
+// Mobility model, so host movement creates and destroys links and the
+// protocols must re-stabilize, which is exactly the paper's fault-tolerance
+// story.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <variant>
+#include <vector>
+
+#include "adhoc/event_queue.hpp"
+#include "adhoc/mobility.hpp"
+#include "adhoc/sim_time.hpp"
+#include "engine/protocol.hpp"
+#include "graph/geometry.hpp"
+#include "graph/id_order.hpp"
+#include "graph/rng.hpp"
+
+namespace selfstab::adhoc {
+
+struct NetworkConfig {
+  SimTime beaconInterval = 100 * kMillisecond;
+  /// Each interval is multiplied by (1 + u) with u uniform in
+  /// [-jitterFraction, +jitterFraction]; beacons are not phase-locked.
+  double jitterFraction = 0.05;
+  /// Neighbor expiry: drop j if not heard for timeoutFactor * beaconInterval.
+  double timeoutFactor = 2.5;
+  SimTime propagationDelay = 1 * kMillisecond;
+  /// Independent per-(beacon, receiver) loss probability.
+  double lossProbability = 0.0;
+  /// MAC contention model: a beacon is lost at receiver j if some third
+  /// node in j's radio range transmitted within this window before the
+  /// sender (half-duplex carrier collision). 0 disables the model — the
+  /// paper's assumption that "the data link protocol resolves any
+  /// contention for the shared medium". Jittered beacon phases make
+  /// persistent collisions between fixed pairs unlikely, so protocols
+  /// still converge, just slower.
+  SimTime collisionWindow = 0;
+  /// Radio range in unit-square widths.
+  double radius = 0.35;
+  /// Optional per-node transmit ranges overriding `radius` (empty = uniform).
+  /// Heterogeneous ranges create *asymmetric* links — u hears v without v
+  /// hearing u — which violates the paper's assumption that "the links
+  /// between two adjacent nodes are always bidirectional". The simulator
+  /// supports them precisely so tests can probe what that assumption buys
+  /// (see adhoc/test_network.cpp: SMM can wedge a node into pointing at a
+  /// neighbor that will never answer).
+  std::vector<double> perNodeRadius;
+  std::uint64_t seed = 1;
+};
+
+struct NetworkStats {
+  std::size_t beaconsSent = 0;
+  std::size_t beaconsDelivered = 0;
+  std::size_t beaconsLost = 0;      ///< random (fading) losses
+  std::size_t beaconsCollided = 0;  ///< MAC collision losses
+  std::size_t moves = 0;
+};
+
+struct QuietResult {
+  SimTime endTime = 0;
+  bool quiet = false;  ///< no state change for the requested window
+  NetworkStats stats;
+};
+
+template <typename State>
+class NetworkSimulator {
+ public:
+  NetworkSimulator(const engine::Protocol<State>& protocol,
+                   const graph::IdAssignment& ids, Mobility& mobility,
+                   NetworkConfig config)
+      : protocol_(&protocol),
+        ids_(&ids),
+        mobility_(&mobility),
+        config_(config),
+        rng_(config.seed),
+        nodes_(mobility.order()),
+        lastTx_(mobility.order(), -1) {
+    assert(ids.order() == mobility.order());
+    for (graph::Vertex v = 0; v < nodes_.size(); ++v) {
+      nodes_[v].state = protocol.initialState(v);
+      // Desynchronized start: first beacon at a random phase of one interval.
+      queue_.schedule(
+          static_cast<SimTime>(rng_.below(
+              static_cast<std::uint64_t>(config_.beaconInterval))),
+          Event{BeaconTimer{v}});
+    }
+  }
+
+  /// Runs until simulated time `until`.
+  void run(SimTime until) {
+    while (!queue_.empty() && queue_.nextTime() <= until) {
+      dispatch(queue_.pop());
+    }
+  }
+
+  /// Runs until no node has changed protocol state for `quietWindow`, or
+  /// until maxTime. (Quiescence in the beacon model: every node keeps
+  /// evaluating its rules each interval but none is privileged.)
+  QuietResult runUntilQuiet(SimTime quietWindow, SimTime maxTime) {
+    QuietResult result;
+    while (!queue_.empty() && queue_.nextTime() <= maxTime) {
+      dispatch(queue_.pop());
+      if (queue_.now() - lastMove_ >= quietWindow) {
+        result.quiet = true;
+        break;
+      }
+    }
+    result.endTime = queue_.now();
+    result.stats = stats_;
+    return result;
+  }
+
+  /// Overwrites node states (fault injection).
+  void setStates(std::vector<State> states) {
+    assert(states.size() == nodes_.size());
+    for (graph::Vertex v = 0; v < nodes_.size(); ++v) {
+      nodes_[v].state = std::move(states[v]);
+    }
+    lastMove_ = queue_.now();
+  }
+
+  /// Reboots node v: protocol state back to the protocol's initial value
+  /// and the neighbor cache wiped, as after a transient crash-restart. The
+  /// paper's model keeps the node set fixed, so a "crash" is exactly this
+  /// kind of transient fault; the protocol must absorb it.
+  void rebootNode(graph::Vertex v) {
+    nodes_[v].state = protocol_->initialState(v);
+    nodes_[v].cache.clear();
+    lastMove_ = queue_.now();
+  }
+
+  [[nodiscard]] std::vector<State> states() const {
+    std::vector<State> out;
+    out.reserve(nodes_.size());
+    for (const auto& node : nodes_) out.push_back(node.state);
+    return out;
+  }
+
+  /// Ground-truth *bidirectional* radio topology at the current simulation
+  /// time: {u,v} is an edge iff each is within the other's transmit range
+  /// (with uniform ranges this is the plain unit-disk graph). Asymmetric
+  /// one-way reachability is, by the paper's model, not a link.
+  [[nodiscard]] graph::Graph currentTopology() {
+    std::vector<graph::Point> pts(nodes_.size());
+    for (graph::Vertex v = 0; v < nodes_.size(); ++v) {
+      pts[v] = mobility_->position(v, queue_.now());
+    }
+    graph::Graph g(nodes_.size());
+    for (graph::Vertex u = 0; u < nodes_.size(); ++u) {
+      for (graph::Vertex v = u + 1; v < nodes_.size(); ++v) {
+        const double reach = std::min(radiusOf(u), radiusOf(v));
+        if (graph::squaredDistance(pts[u], pts[v]) <= reach * reach) {
+          g.addEdge(u, v);
+        }
+      }
+    }
+    return g;
+  }
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] SimTime now() const noexcept { return queue_.now(); }
+  [[nodiscard]] SimTime lastMoveTime() const noexcept { return lastMove_; }
+
+  /// Number of whole beacon intervals elapsed — the paper's round count.
+  [[nodiscard]] double roundsElapsed() const noexcept {
+    return static_cast<double>(queue_.now()) /
+           static_cast<double>(config_.beaconInterval);
+  }
+
+ private:
+  struct BeaconTimer {
+    graph::Vertex node;
+  };
+  struct Delivery {
+    graph::Vertex to;
+    graph::Vertex from;
+    State payload;
+  };
+  using Event = std::variant<BeaconTimer, Delivery>;
+
+  struct CacheEntry {
+    State state{};
+    SimTime heardAt = 0;
+  };
+
+  struct Node {
+    State state{};
+    // Sorted by sender vertex so LocalViews enumerate neighbors in
+    // increasing vertex order, matching the abstract engine.
+    std::map<graph::Vertex, CacheEntry> cache;
+  };
+
+  void dispatch(Event event) {
+    if (auto* timer = std::get_if<BeaconTimer>(&event)) {
+      onBeaconTimer(timer->node);
+    } else {
+      onDelivery(std::get<Delivery>(event));
+    }
+  }
+
+  void onBeaconTimer(graph::Vertex v) {
+    const SimTime now = queue_.now();
+    Node& node = nodes_[v];
+
+    // Neighbor discovery: expire links whose beacons stopped arriving.
+    const auto timeout = static_cast<SimTime>(
+        config_.timeoutFactor * static_cast<double>(config_.beaconInterval));
+    for (auto it = node.cache.begin(); it != node.cache.end();) {
+      if (now - it->second.heardAt > timeout) {
+        it = node.cache.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Act on the beacons gathered this round (the paper: a node takes action
+    // after receiving beacon messages from all its neighbors).
+    neighborBuffer_.clear();
+    for (const auto& [from, entry] : node.cache) {
+      neighborBuffer_.push_back(
+          engine::NeighborRef<State>{from, ids_->idOf(from), &entry.state});
+    }
+    engine::LocalView<State> view;
+    view.self = v;
+    view.selfId = ids_->idOf(v);
+    view.selfState = &node.state;
+    view.neighbors = neighborBuffer_;
+    view.roundKey = hashCombine(config_.seed,
+                                static_cast<std::uint64_t>(
+                                    now / config_.beaconInterval));
+    if (auto next = protocol_->onRound(view)) {
+      node.state = std::move(*next);
+      ++stats_.moves;
+      lastMove_ = now;
+    }
+
+    // Broadcast the (possibly updated) state to everyone in the *sender's*
+    // transmit range (reception is governed by the transmitter's power).
+    const graph::Point me = mobility_->position(v, now);
+    const double r2 = radiusOf(v) * radiusOf(v);
+    for (graph::Vertex u = 0; u < nodes_.size(); ++u) {
+      if (u == v) continue;
+      const graph::Point other = mobility_->position(u, now);
+      if (graph::squaredDistance(me, other) > r2) continue;
+      if (rng_.chance(config_.lossProbability)) {
+        ++stats_.beaconsLost;
+        continue;
+      }
+      if (config_.collisionWindow > 0 && collidesAt(u, v, other, now)) {
+        ++stats_.beaconsCollided;
+        continue;
+      }
+      queue_.schedule(now + config_.propagationDelay,
+                      Event{Delivery{u, v, node.state}});
+    }
+    lastTx_[v] = now;
+    ++stats_.beaconsSent;
+
+    // Next beacon with jitter.
+    const double jitter =
+        rng_.real(-config_.jitterFraction, config_.jitterFraction);
+    const auto interval = std::max<SimTime>(
+        1, static_cast<SimTime>(
+               (1.0 + jitter) * static_cast<double>(config_.beaconInterval)));
+    queue_.schedule(now + interval, Event{BeaconTimer{v}});
+  }
+
+  void onDelivery(const Delivery& d) {
+    nodes_[d.to].cache[d.from] = CacheEntry{d.payload, queue_.now()};
+    ++stats_.beaconsDelivered;
+  }
+
+  /// MAC collision check for a beacon sent by `sender` at `now` towards the
+  /// receiver at `receiverPos`: lost if any third node in the receiver's
+  /// range transmitted within the collision window. (Half-duplex model:
+  /// only transmissions *before* the current one are checked; the jittered
+  /// schedule breaks symmetric persistent collisions.)
+  [[nodiscard]] bool collidesAt(graph::Vertex receiver, graph::Vertex sender,
+                                const graph::Point& receiverPos,
+                                SimTime now) {
+    for (graph::Vertex k = 0; k < nodes_.size(); ++k) {
+      if (k == sender || k == receiver) continue;
+      if (lastTx_[k] < 0 || now - lastTx_[k] > config_.collisionWindow) {
+        continue;
+      }
+      const graph::Point kp = mobility_->position(k, now);
+      const double rk = radiusOf(k);
+      if (graph::squaredDistance(kp, receiverPos) <= rk * rk) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] double radiusOf(graph::Vertex v) const noexcept {
+    return config_.perNodeRadius.empty() ? config_.radius
+                                         : config_.perNodeRadius[v];
+  }
+
+  const engine::Protocol<State>* protocol_;
+  const graph::IdAssignment* ids_;
+  Mobility* mobility_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  std::vector<SimTime> lastTx_;
+  EventQueue<Event> queue_;
+  NetworkStats stats_;
+  SimTime lastMove_ = 0;
+  std::vector<engine::NeighborRef<State>> neighborBuffer_;
+};
+
+}  // namespace selfstab::adhoc

@@ -1,0 +1,15 @@
+// Simulated time: 64-bit integer microseconds (deterministic arithmetic,
+// no floating-point drift in event ordering).
+#pragma once
+
+#include <cstdint>
+
+namespace selfstab::adhoc {
+
+using SimTime = std::int64_t;  ///< microseconds since simulation start
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1'000'000;
+
+}  // namespace selfstab::adhoc

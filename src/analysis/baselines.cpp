@@ -1,0 +1,183 @@
+#include "analysis/baselines.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+
+namespace selfstab::analysis {
+
+using graph::Edge;
+using graph::Graph;
+using graph::Vertex;
+
+std::vector<Edge> greedyMaximalMatching(const Graph& g,
+                                        std::span<const Vertex> order) {
+  std::vector<bool> covered(g.order(), false);
+  std::vector<Edge> matching;
+  for (const Vertex u : order) {
+    if (covered[u]) continue;
+    for (const Vertex v : g.neighbors(u)) {
+      if (!covered[v]) {
+        covered[u] = covered[v] = true;
+        matching.push_back(graph::makeEdge(u, v));
+        break;
+      }
+    }
+  }
+  return matching;
+}
+
+std::vector<Edge> greedyMaximalMatching(const Graph& g) {
+  std::vector<Vertex> order(g.order());
+  std::iota(order.begin(), order.end(), Vertex{0});
+  return greedyMaximalMatching(g, order);
+}
+
+std::vector<Vertex> greedyMaximalIndependentSet(
+    const Graph& g, std::span<const Vertex> order) {
+  std::vector<bool> blocked(g.order(), false);
+  std::vector<Vertex> members;
+  for (const Vertex u : order) {
+    if (blocked[u]) continue;
+    members.push_back(u);
+    blocked[u] = true;
+    for (const Vertex v : g.neighbors(u)) blocked[v] = true;
+  }
+  std::sort(members.begin(), members.end());
+  return members;
+}
+
+std::vector<Vertex> greedyMaximalIndependentSet(const Graph& g) {
+  std::vector<Vertex> order(g.order());
+  std::iota(order.begin(), order.end(), Vertex{0});
+  return greedyMaximalIndependentSet(g, order);
+}
+
+namespace {
+
+// Recursive bitmask DP for maximum matching. `used` marks consumed vertices.
+std::size_t maxMatchingRec(const Graph& g, std::uint32_t used,
+                           std::vector<std::int8_t>& memo) {
+  const std::size_t n = g.order();
+  const std::uint32_t full = n == 32 ? ~0u : ((1u << n) - 1);
+  if (used == full) return 0;
+  if (memo[used] >= 0) return static_cast<std::size_t>(memo[used]);
+
+  const auto v = static_cast<Vertex>(std::countr_one(used));
+  // Option 1: v stays unmatched.
+  std::size_t best = maxMatchingRec(g, used | (1u << v), memo);
+  // Option 2: match v with a free neighbor.
+  for (const Vertex w : g.neighbors(v)) {
+    if ((used >> w) & 1u) continue;
+    best = std::max(best, 1 + maxMatchingRec(
+                              g, used | (1u << v) | (1u << w), memo));
+  }
+  memo[used] = static_cast<std::int8_t>(best);
+  return best;
+}
+
+}  // namespace
+
+std::size_t maximumMatchingSize(const Graph& g) {
+  const std::size_t n = g.order();
+  assert(n <= 24 && "bitmask DP limited to 24 vertices");
+  if (n == 0) return 0;
+  std::vector<std::int8_t> memo(std::size_t{1} << n, -1);
+  return maxMatchingRec(g, 0, memo);
+}
+
+namespace {
+
+struct MaskGraph {
+  std::vector<std::uint64_t> closed;  // N[v] as bitmask
+  std::size_t n = 0;
+
+  explicit MaskGraph(const Graph& g) : closed(g.order()), n(g.order()) {
+    assert(n <= 64);
+    for (Vertex v = 0; v < n; ++v) {
+      std::uint64_t mask = std::uint64_t{1} << v;
+      for (const Vertex w : g.neighbors(v)) mask |= std::uint64_t{1} << w;
+      closed[v] = mask;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t all() const noexcept {
+    return n == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+  }
+};
+
+std::size_t misRec(const MaskGraph& mg, std::uint64_t avail) {
+  if (avail == 0) return 0;
+
+  // Reduction: a vertex with residual degree <= 1 is always in some maximum
+  // independent set of the residual graph, so take it without branching.
+  {
+    std::uint64_t scan = avail;
+    while (scan != 0) {
+      const auto v = static_cast<Vertex>(std::countr_zero(scan));
+      scan &= scan - 1;
+      const std::uint64_t nbrs =
+          (mg.closed[v] & avail) & ~(std::uint64_t{1} << v);
+      if (std::popcount(nbrs) <= 1) {
+        return 1 + misRec(mg, avail & ~mg.closed[v]);
+      }
+    }
+  }
+
+  // Branch on a maximum-residual-degree vertex.
+  Vertex pivot = 0;
+  int bestDeg = -1;
+  std::uint64_t scan = avail;
+  while (scan != 0) {
+    const auto v = static_cast<Vertex>(std::countr_zero(scan));
+    scan &= scan - 1;
+    const int deg = std::popcount(mg.closed[v] & avail) - 1;
+    if (deg > bestDeg) {
+      bestDeg = deg;
+      pivot = v;
+    }
+  }
+  const std::size_t with = 1 + misRec(mg, avail & ~mg.closed[pivot]);
+  const std::size_t without = misRec(mg, avail & ~(std::uint64_t{1} << pivot));
+  return std::max(with, without);
+}
+
+void minDomRec(const MaskGraph& mg, std::uint64_t dominated,
+               std::size_t chosen, std::size_t& best) {
+  if (chosen >= best) return;  // bound
+  if (dominated == mg.all()) {
+    best = chosen;
+    return;
+  }
+  // Pick the lowest undominated vertex; some member of N[u] must be chosen.
+  const auto u = static_cast<Vertex>(
+      std::countr_zero(~dominated & mg.all()));
+  std::uint64_t candidates = mg.closed[u];
+  while (candidates != 0) {
+    const auto c = static_cast<Vertex>(std::countr_zero(candidates));
+    candidates &= candidates - 1;
+    minDomRec(mg, dominated | mg.closed[c], chosen + 1, best);
+  }
+}
+
+}  // namespace
+
+std::size_t maximumIndependentSetSize(const Graph& g) {
+  assert(g.order() <= 64);
+  if (g.order() == 0) return 0;
+  const MaskGraph mg(g);
+  return misRec(mg, mg.all());
+}
+
+std::size_t minimumDominatingSetSize(const Graph& g) {
+  assert(g.order() <= 64);
+  if (g.order() == 0) return 0;
+  const MaskGraph mg(g);
+  std::size_t best = g.order();
+  minDomRec(mg, 0, 0, best);
+  return best;
+}
+
+}  // namespace selfstab::analysis

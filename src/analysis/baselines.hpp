@@ -1,0 +1,44 @@
+// Sequential baselines for solution quality (experiment E9).
+//
+// The self-stabilizing protocols guarantee *maximality*, which pins their
+// quality within classical factors (a maximal matching has at least half the
+// edges of a maximum one; a maximal independent set is a minimal dominating
+// set). These baselines let the experiments report where in those ranges the
+// protocols actually land: greedy sequential constructions, and exact optima
+// on small instances.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace selfstab::analysis {
+
+/// Greedy maximal matching: scan vertices in the given order, match each
+/// unmatched vertex with its first unmatched neighbor.
+[[nodiscard]] std::vector<graph::Edge> greedyMaximalMatching(
+    const graph::Graph& g, std::span<const graph::Vertex> order);
+[[nodiscard]] std::vector<graph::Edge> greedyMaximalMatching(
+    const graph::Graph& g);
+
+/// Greedy maximal independent set in the given vertex order.
+[[nodiscard]] std::vector<graph::Vertex> greedyMaximalIndependentSet(
+    const graph::Graph& g, std::span<const graph::Vertex> order);
+[[nodiscard]] std::vector<graph::Vertex> greedyMaximalIndependentSet(
+    const graph::Graph& g);
+
+/// Exact maximum matching size via bitmask DP. Requires order() <= 24.
+[[nodiscard]] std::size_t maximumMatchingSize(const graph::Graph& g);
+
+/// Exact maximum independent set size via branch and bound with neighborhood
+/// bitmasks. Requires order() <= 64; practical well past the experiment
+/// sizes (tens of vertices).
+[[nodiscard]] std::size_t maximumIndependentSetSize(const graph::Graph& g);
+
+/// Exact minimum dominating set size via branch and bound over candidate
+/// dominators. Requires order() <= 64.
+[[nodiscard]] std::size_t minimumDominatingSetSize(const graph::Graph& g);
+
+}  // namespace selfstab::analysis

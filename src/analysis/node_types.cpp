@@ -1,0 +1,117 @@
+#include "analysis/node_types.hpp"
+
+#include <cassert>
+
+namespace selfstab::analysis {
+
+using core::PointerState;
+using graph::Graph;
+using graph::Vertex;
+
+std::string_view toString(NodeType t) noexcept {
+  switch (t) {
+    case NodeType::M:
+      return "M";
+    case NodeType::A0:
+      return "A0";
+    case NodeType::A1:
+      return "A1";
+    case NodeType::PA:
+      return "PA";
+    case NodeType::PM:
+      return "PM";
+    case NodeType::PP:
+      return "PP";
+  }
+  return "?";
+}
+
+bool isTypeCorrect(const Graph& g, const std::vector<PointerState>& states) {
+  if (states.size() != g.order()) return false;
+  for (Vertex v = 0; v < states.size(); ++v) {
+    const PointerState& s = states[v];
+    if (!s.isNull() && !g.hasEdge(v, s.ptr)) return false;
+  }
+  return true;
+}
+
+std::vector<NodeType> classifyNodes([[maybe_unused]] const Graph& g,
+                                    const std::vector<PointerState>& states) {
+  assert(isTypeCorrect(g, states));
+  const std::size_t n = states.size();
+
+  // pointedAt[v]: does some neighbor point at v?
+  std::vector<bool> pointedAt(n, false);
+  for (Vertex v = 0; v < n; ++v) {
+    if (!states[v].isNull()) pointedAt[states[v].ptr] = true;
+  }
+
+  std::vector<NodeType> types(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const PointerState& s = states[v];
+    if (s.isNull()) {
+      types[v] = pointedAt[v] ? NodeType::A1 : NodeType::A0;
+      continue;
+    }
+    const PointerState& target = states[s.ptr];
+    if (target.ptr == v) {
+      types[v] = NodeType::M;
+    } else if (target.isNull()) {
+      types[v] = NodeType::PA;
+    } else {
+      // v points at u which points at w != v: u is matched iff w points
+      // back at u, making v's type PM; otherwise u is itself pointing, PP.
+      const Vertex u = s.ptr;
+      const Vertex w = target.ptr;
+      types[v] = (states[w].ptr == u) ? NodeType::PM : NodeType::PP;
+    }
+  }
+  return types;
+}
+
+TypeCounts countTypes(const std::vector<NodeType>& types) {
+  TypeCounts counts;
+  for (const NodeType t : types) ++counts.count[static_cast<std::size_t>(t)];
+  return counts;
+}
+
+bool isLegalTransition(NodeType from, NodeType to) noexcept {
+  switch (from) {
+    case NodeType::M:
+      return to == NodeType::M;
+    case NodeType::PM:
+    case NodeType::PP:
+      return to == NodeType::A0;
+    case NodeType::PA:
+      return to == NodeType::M || to == NodeType::PM;
+    case NodeType::A1:
+      return to == NodeType::M;
+    case NodeType::A0:
+      return to == NodeType::A0 || to == NodeType::M || to == NodeType::PM ||
+             to == NodeType::PP;
+  }
+  return false;
+}
+
+void TransitionCensus::record(std::size_t t,
+                              const std::vector<PointerState>& before,
+                              const std::vector<PointerState>& after) {
+  const auto fromTypes = classifyNodes(*g_, before);
+  const auto toTypes = classifyNodes(*g_, after);
+  assert(fromTypes.size() == toTypes.size());
+  for (std::size_t v = 0; v < fromTypes.size(); ++v) {
+    const NodeType from = fromTypes[v];
+    const NodeType to = toTypes[v];
+    ++counts_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+    ++total_;
+    if (!isLegalTransition(from, to)) ++illegal_;
+    // Lemma 7: A¹ and PA must be empty from round 1 on. Every `after`
+    // configuration has index t+1 >= 1; `before` contributes when t >= 1.
+    if (to == NodeType::A1 || to == NodeType::PA) ++lateA1Pa_;
+    if (t >= 1 && (from == NodeType::A1 || from == NodeType::PA)) {
+      ++lateA1Pa_;
+    }
+  }
+}
+
+}  // namespace selfstab::analysis

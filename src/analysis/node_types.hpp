@@ -1,0 +1,108 @@
+// The paper's node-type machinery (Section 3, Figures 2 and 3).
+//
+// Any global configuration of pointer states partitions the nodes into
+//   M  — matched:  i -> j and j -> i
+//   A⁰ — aloof, nobody points at it (p(i)=Λ, ∀j: p(j)≠i)
+//   A¹ — aloof, someone points at it (p(i)=Λ, ∃j: p(j)=i)
+//   PA — pointing at an aloof node
+//   PM — pointing at a matched node
+//   PP — pointing at a pointing node
+// Lemmas 1–7 restrict how a node's type can change between consecutive
+// synchronous rounds; TransitionCensus records observed transitions and
+// checks them against that diagram. This is how bench/exp_transition_census
+// reproduces Figures 2–3 empirically.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/matching_state.hpp"
+#include "graph/graph.hpp"
+
+namespace selfstab::analysis {
+
+enum class NodeType : std::uint8_t {
+  M = 0,   ///< matched
+  A0 = 1,  ///< aloof, un-pointed-at
+  A1 = 2,  ///< aloof, pointed-at
+  PA = 3,  ///< pointing at an aloof node
+  PM = 4,  ///< pointing at a matched node
+  PP = 5,  ///< pointing at a pointing node
+};
+
+inline constexpr std::size_t kNodeTypeCount = 6;
+
+[[nodiscard]] std::string_view toString(NodeType t) noexcept;
+
+/// True if every pointer is Λ or a current neighbor — the configuration
+/// space the paper's proofs quantify over. Classification requires this.
+[[nodiscard]] bool isTypeCorrect(const graph::Graph& g,
+                                 const std::vector<core::PointerState>& states);
+
+/// Classifies every node. Precondition: isTypeCorrect(g, states).
+[[nodiscard]] std::vector<NodeType> classifyNodes(
+    const graph::Graph& g, const std::vector<core::PointerState>& states);
+
+/// Histogram of node types.
+struct TypeCounts {
+  std::array<std::size_t, kNodeTypeCount> count{};
+
+  [[nodiscard]] std::size_t of(NodeType t) const noexcept {
+    return count[static_cast<std::size_t>(t)];
+  }
+};
+
+[[nodiscard]] TypeCounts countTypes(const std::vector<NodeType>& types);
+
+/// The legal transition relation of Figure 3 (derived from Lemmas 1–6):
+///   M  -> M
+///   PM -> A⁰            (Lemma 2; the proof forces the A⁰ sub-type)
+///   PP -> A⁰            (Lemma 3)
+///   PA -> M | PM        (Lemma 4; PA occurs only at t=0 by Lemma 7)
+///   A¹ -> M             (Lemma 5; A¹ occurs only at t=0 by Lemma 7)
+///   A⁰ -> A⁰ | M | PM | PP   (Lemma 6)
+[[nodiscard]] bool isLegalTransition(NodeType from, NodeType to) noexcept;
+
+/// Records per-node type transitions across synchronous rounds and checks
+/// them against the diagram. Feed it consecutive configurations.
+class TransitionCensus {
+ public:
+  explicit TransitionCensus(const graph::Graph& g) : g_(&g) {}
+
+  /// Registers the transition S_t -> S_{t+1}. `t` is the round index of the
+  /// `before` configuration (0-based, matching the paper's S_0).
+  void record(std::size_t t, const std::vector<core::PointerState>& before,
+              const std::vector<core::PointerState>& after);
+
+  /// counts[from][to] over all recorded transitions.
+  [[nodiscard]] const std::array<std::array<std::size_t, kNodeTypeCount>,
+                                 kNodeTypeCount>&
+  counts() const noexcept {
+    return counts_;
+  }
+
+  /// Number of recorded transitions violating the Figure 3 diagram.
+  [[nodiscard]] std::size_t illegalCount() const noexcept { return illegal_; }
+
+  /// Number of nodes observed in A¹ or PA in any configuration with t >= 1
+  /// (Lemma 7 says this must be zero).
+  [[nodiscard]] std::size_t lateA1PaCount() const noexcept {
+    return lateA1Pa_;
+  }
+
+  [[nodiscard]] std::size_t transitionsRecorded() const noexcept {
+    return total_;
+  }
+
+ private:
+  const graph::Graph* g_;
+  std::array<std::array<std::size_t, kNodeTypeCount>, kNodeTypeCount>
+      counts_{};
+  std::size_t illegal_ = 0;
+  std::size_t lateA1Pa_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace selfstab::analysis

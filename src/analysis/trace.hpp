@@ -1,0 +1,74 @@
+// Round-by-round numeric traces with CSV export.
+//
+// Experiments and the CLI record one row per synchronous round (moves,
+// predicate sizes, potential-function values, ...) and dump them as CSV for
+// external plotting. Purely numeric by design: column schemas are fixed at
+// construction, rows are validated against them.
+#pragma once
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace selfstab::analysis {
+
+class RoundTrace {
+ public:
+  explicit RoundTrace(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Appends one row; must match the column count.
+  void addRow(std::vector<double> values) {
+    assert(values.size() == columns_.size());
+    rows_.push_back(std::move(values));
+  }
+
+  [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+
+  /// Values of the named column, empty if the name is unknown.
+  [[nodiscard]] std::vector<double> column(const std::string& name) const {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (columns_[c] == name) {
+        std::vector<double> out;
+        out.reserve(rows_.size());
+        for (const auto& row : rows_) out.push_back(row[c]);
+        return out;
+      }
+    }
+    return {};
+  }
+
+  /// RFC-4180-ish CSV: header line then one line per row. Numbers are
+  /// printed with full double round-trip not needed here; default precision
+  /// is fine for counts and sizes.
+  void writeCsv(std::ostream& out) const {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out << ',';
+      out << columns_[c];
+    }
+    out << '\n';
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) out << ',';
+        // Print integers without a trailing ".0" for readability.
+        const double v = row[c];
+        if (v == static_cast<double>(static_cast<long long>(v))) {
+          out << static_cast<long long>(v);
+        } else {
+          out << v;
+        }
+      }
+      out << '\n';
+    }
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace selfstab::analysis

@@ -1,0 +1,253 @@
+#include "analysis/verifiers.hpp"
+
+#include <algorithm>
+
+#include "analysis/node_types.hpp"
+#include "graph/algorithms.hpp"
+
+namespace selfstab::analysis {
+
+using core::BitState;
+using core::ColorState;
+using core::DomState;
+using core::PointerState;
+using graph::Edge;
+using graph::Graph;
+using graph::Vertex;
+
+std::vector<Edge> matchedEdges(const Graph& g,
+                               const std::vector<PointerState>& states) {
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v < states.size(); ++v) {
+    const PointerState& s = states[v];
+    if (s.isNull() || s.ptr <= v || !g.hasEdge(v, s.ptr)) continue;
+    if (states[s.ptr].ptr == v) edges.push_back(Edge{v, s.ptr});
+  }
+  return edges;
+}
+
+bool isMatching(const Graph& g, std::span<const Edge> edges) {
+  std::vector<bool> covered(g.order(), false);
+  for (const Edge& e : edges) {
+    if (!g.hasEdge(e.u, e.v)) return false;
+    if (covered[e.u] || covered[e.v]) return false;
+    covered[e.u] = covered[e.v] = true;
+  }
+  return true;
+}
+
+bool isMaximalMatching(const Graph& g, std::span<const Edge> edges) {
+  if (!isMatching(g, edges)) return false;
+  std::vector<bool> covered(g.order(), false);
+  for (const Edge& e : edges) covered[e.u] = covered[e.v] = true;
+  for (Vertex u = 0; u < g.order(); ++u) {
+    if (covered[u]) continue;
+    for (const Vertex v : g.neighbors(u)) {
+      if (!covered[v]) return false;  // {u, v} could be added
+    }
+  }
+  return true;
+}
+
+MatchingFixpointCheck checkMatchingFixpoint(
+    const Graph& g, const std::vector<PointerState>& states) {
+  MatchingFixpointCheck check;
+  check.typeCorrect = isTypeCorrect(g, states);
+  if (!check.typeCorrect) return check;
+
+  const auto edges = matchedEdges(g, states);
+  check.isMatching = isMatching(g, edges);
+  check.isMaximal = isMaximalMatching(g, edges);
+
+  // Lemma 8: every node outside M is aloof (null pointer, nobody pointing).
+  const auto types = classifyNodes(g, states);
+  check.unmatchedAreAloof =
+      std::all_of(types.begin(), types.end(), [](NodeType t) {
+        return t == NodeType::M || t == NodeType::A0;
+      });
+  return check;
+}
+
+std::vector<Vertex> membersOf(const std::vector<BitState>& states) {
+  std::vector<Vertex> members;
+  for (Vertex v = 0; v < states.size(); ++v) {
+    if (states[v].in) members.push_back(v);
+  }
+  return members;
+}
+
+std::vector<Vertex> membersOf(const std::vector<DomState>& states) {
+  std::vector<Vertex> members;
+  for (Vertex v = 0; v < states.size(); ++v) {
+    if (states[v].in) members.push_back(v);
+  }
+  return members;
+}
+
+namespace {
+
+std::vector<bool> membershipMask(const Graph& g,
+                                 std::span<const Vertex> members) {
+  std::vector<bool> in(g.order(), false);
+  for (const Vertex v : members) in[v] = true;
+  return in;
+}
+
+}  // namespace
+
+bool isIndependentSet(const Graph& g, std::span<const Vertex> members) {
+  const auto in = membershipMask(g, members);
+  for (const Vertex u : members) {
+    for (const Vertex v : g.neighbors(u)) {
+      if (in[v]) return false;
+    }
+  }
+  return true;
+}
+
+bool isMaximalIndependentSet(const Graph& g,
+                             std::span<const Vertex> members) {
+  if (!isIndependentSet(g, members)) return false;
+  const auto in = membershipMask(g, members);
+  for (Vertex u = 0; u < g.order(); ++u) {
+    if (in[u]) continue;
+    const auto nbrs = g.neighbors(u);
+    const bool dominated = std::any_of(nbrs.begin(), nbrs.end(),
+                                       [&](Vertex v) { return in[v]; });
+    if (!dominated) return false;  // u could be added
+  }
+  return true;
+}
+
+bool isDominatingSet(const Graph& g, std::span<const Vertex> members) {
+  const auto in = membershipMask(g, members);
+  for (Vertex u = 0; u < g.order(); ++u) {
+    if (in[u]) continue;
+    const auto nbrs = g.neighbors(u);
+    if (std::none_of(nbrs.begin(), nbrs.end(),
+                     [&](Vertex v) { return in[v]; })) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool isMinimalDominatingSet(const Graph& g, std::span<const Vertex> members) {
+  if (!isDominatingSet(g, members)) return false;
+  const auto in = membershipMask(g, members);
+
+  // dominators[u] = |N[u] ∩ S|.
+  std::vector<std::uint32_t> dominators(g.order(), 0);
+  for (Vertex u = 0; u < g.order(); ++u) {
+    if (in[u]) ++dominators[u];
+    for (const Vertex v : g.neighbors(u)) {
+      if (in[v]) ++dominators[u];
+    }
+  }
+
+  // S is minimal iff every member has a private neighbor: either itself
+  // (no other dominator) or some non-member neighbor dominated only by it.
+  for (const Vertex u : members) {
+    if (dominators[u] == 1) continue;  // u is its own private neighbor
+    bool hasPrivate = false;
+    for (const Vertex v : g.neighbors(u)) {
+      if (!in[v] && dominators[v] == 1) {
+        hasPrivate = true;
+        break;
+      }
+    }
+    if (!hasPrivate) return false;  // S \ {u} still dominates
+  }
+  return true;
+}
+
+bool isProperColoring(const Graph& g,
+                      const std::vector<std::uint32_t>& colors) {
+  for (const Edge& e : g.edges()) {
+    if (colors[e.u] == colors[e.v]) return false;
+  }
+  return true;
+}
+
+bool isProperColoring(const Graph& g,
+                      const std::vector<ColorState>& states) {
+  std::vector<std::uint32_t> colors(states.size());
+  for (std::size_t v = 0; v < states.size(); ++v) colors[v] = states[v].color;
+  return isProperColoring(g, colors);
+}
+
+std::uint32_t colorCount(const std::vector<ColorState>& states) {
+  std::uint32_t highest = 0;
+  for (const ColorState& s : states) highest = std::max(highest, s.color);
+  return states.empty() ? 0 : highest + 1;
+}
+
+bool isLeaderTree(const Graph& g, const graph::IdAssignment& ids,
+                  const std::vector<core::LeaderState>& states) {
+  if (states.size() != g.order()) return false;
+  const auto comp = connectedComponents(g);
+  const std::size_t componentTotal = componentCount(g);
+
+  // Leader (max-ID vertex) of every component.
+  std::vector<Vertex> leader(componentTotal, graph::kNoVertex);
+  for (Vertex v = 0; v < g.order(); ++v) {
+    Vertex& best = leader[comp[v]];
+    if (best == graph::kNoVertex || ids.less(best, v)) best = v;
+  }
+
+  // BFS distances from each leader, restricted to its component.
+  for (std::size_t c = 0; c < componentTotal; ++c) {
+    const Vertex root = leader[c];
+    const auto truth = bfsDistances(g, root);
+    for (Vertex v = 0; v < g.order(); ++v) {
+      if (comp[v] != c) continue;
+      const core::LeaderState& s = states[v];
+      if (s.root != ids.idOf(root)) return false;
+      if (v == root) {
+        if (s.dist != 0 || s.parent != graph::kNoVertex) return false;
+        continue;
+      }
+      if (s.dist != truth[v]) return false;
+      Vertex expected = graph::kNoVertex;
+      for (const Vertex w : g.neighbors(v)) {
+        if (truth[w] + 1 != truth[v]) continue;
+        if (expected == graph::kNoVertex || ids.less(w, expected)) {
+          expected = w;
+        }
+      }
+      if (s.parent != expected) return false;
+    }
+  }
+  return true;
+}
+
+bool isShortestPathTree(const Graph& g, const graph::IdAssignment& ids,
+                        Vertex root, std::uint32_t cap,
+                        const std::vector<core::TreeState>& states) {
+  if (states.size() != g.order() || !g.contains(root)) return false;
+  const auto truth = bfsDistances(g, root);
+  for (Vertex v = 0; v < g.order(); ++v) {
+    const core::TreeState& s = states[v];
+    if (v == root) {
+      if (s.dist != 0 || s.parent != graph::kNoVertex) return false;
+      continue;
+    }
+    if (truth[v] == graph::kUnreachable || truth[v] >= cap) {
+      if (s.dist != cap || s.parent != graph::kNoVertex) return false;
+      continue;
+    }
+    if (s.dist != truth[v]) return false;
+    // Parent: the minimum-ID neighbor at distance dist-1.
+    Vertex expected = graph::kNoVertex;
+    for (const Vertex w : g.neighbors(v)) {
+      if (truth[w] + 1 != truth[v]) continue;
+      if (expected == graph::kNoVertex || ids.less(w, expected)) {
+        expected = w;
+      }
+    }
+    if (s.parent != expected) return false;
+  }
+  return true;
+}
+
+}  // namespace selfstab::analysis

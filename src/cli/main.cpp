@@ -1,0 +1,31 @@
+// `selfstab` — run any protocol of this library on any topology from the
+// shell. See --help for the grammar.
+#include <iostream>
+#include <vector>
+
+#include "cli/options.hpp"
+#include "cli/run.hpp"
+
+int main(int argc, char** argv) {
+  using namespace selfstab::cli;
+  try {
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    const Options options = parseOptions(args);
+    if (options.help) {
+      std::cout << usage();
+      return 0;
+    }
+    const Report report = execute(options, std::cout);
+    printReport(report, std::cout);
+    // Non-stabilization is only "success" for the counterexample protocol,
+    // where a certified livelock is the expected outcome.
+    if (options.protocol == ProtocolKind::SmmArbitrary &&
+        report.livelockCertified) {
+      return 0;
+    }
+    return report.predicateOk ? 0 : 2;
+  } catch (const CliError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

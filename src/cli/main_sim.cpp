@@ -1,0 +1,24 @@
+// `selfstab-sim` — run protocols over the beacon-model network simulator.
+#include <iostream>
+#include <vector>
+
+#include "cli/sim_options.hpp"
+#include "cli/sim_run.hpp"
+
+int main(int argc, char** argv) {
+  using namespace selfstab::cli;
+  try {
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    const SimOptions options = parseSimOptions(args);
+    if (options.help) {
+      std::cout << simUsage();
+      return 0;
+    }
+    const SimReport report = executeSim(options, std::cout);
+    printSimReport(report, std::cout);
+    return report.predicateOk ? 0 : 2;
+  } catch (const CliError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,80 @@
+// Command-line interface of the `selfstab` tool: option grammar and parser.
+//
+// The parser is a pure function from argv to an Options struct (or a
+// CliError), so it is unit-testable without spawning processes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace selfstab::cli {
+
+class CliError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class ProtocolKind {
+  Smm,           ///< the paper's Algorithm SMM (min-ID proposals)
+  SmmArbitrary,  ///< broken variant: successor-choice R2 (counterexample)
+  HsuHuangSync,  ///< Hsu-Huang via the Synchronized (local mutex) wrapper
+  Sis,           ///< the paper's Algorithm SIS
+  Coloring,      ///< Grundy coloring extension
+  DominatingSet, ///< minimal dominating set extension (Synchronized)
+  BfsTree,       ///< BFS spanning tree extension
+  LeaderTree,    ///< rootless leader election + spanning tree extension
+};
+
+enum class IdOrderKind { Identity, Reversed, Random };
+enum class StartKind { Clean, Random };
+
+/// How to obtain the topology: a generator spec or a file.
+struct GraphSpec {
+  enum class Kind {
+    Path,
+    Cycle,
+    Star,
+    Complete,
+    Grid,
+    Tree,
+    Gnp,
+    Udg,
+    File
+  };
+  Kind kind = Kind::Gnp;
+  std::size_t n = 32;       ///< primary size (rows for Grid)
+  std::size_t cols = 0;     ///< Grid only
+  double param = 0.1;       ///< p for Gnp, radius for Udg
+  std::string path;         ///< File only (edge-list format)
+};
+
+struct Options {
+  ProtocolKind protocol = ProtocolKind::Smm;
+  GraphSpec graph;
+  IdOrderKind idOrder = IdOrderKind::Identity;
+  StartKind start = StartKind::Clean;
+  std::uint64_t seed = 1;
+  std::size_t maxRounds = 0;  ///< 0 = auto (protocol-appropriate bound)
+  bool trace = false;         ///< per-round progress lines
+  std::string dotPath;        ///< write final graph+solution as DOT
+  std::string csvPath;        ///< write a per-round CSV trace
+  std::string saveGraphPath;  ///< write the topology as an edge list
+  bool help = false;
+};
+
+/// Parses the argument vector (without argv[0]). Throws CliError on bad
+/// input.
+[[nodiscard]] Options parseOptions(const std::vector<std::string>& args);
+
+/// Parses a graph spec string, e.g. "path:64", "grid:8x8", "gnp:64:0.1",
+/// "udg:50:0.3", "file:topo.txt".
+[[nodiscard]] GraphSpec parseGraphSpec(const std::string& spec);
+
+[[nodiscard]] std::string usage();
+
+[[nodiscard]] std::string_view toString(ProtocolKind kind) noexcept;
+
+}  // namespace selfstab::cli

@@ -1,0 +1,463 @@
+#include "cli/run.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/trace.hpp"
+#include "analysis/verifiers.hpp"
+#include "core/bfs_tree.hpp"
+#include "core/coloring.hpp"
+#include "core/dominating_set.hpp"
+#include "core/local_mutex.hpp"
+#include "core/sis.hpp"
+#include "core/smm.hpp"
+#include "engine/cycle_detection.hpp"
+#include "engine/fault.hpp"
+#include "engine/sync_runner.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace selfstab::cli {
+
+namespace {
+
+using graph::Graph;
+using graph::IdAssignment;
+using graph::Vertex;
+
+/// Writes the final graph with per-vertex / per-edge annotations.
+void writeAnnotatedDot(std::ostream& out, const Graph& g,
+                       const std::vector<std::string>& vertexAttrs,
+                       const std::vector<std::pair<graph::Edge, std::string>>&
+                           edgeAttrs) {
+  out << "graph selfstab {\n  node [shape=circle];\n";
+  for (Vertex v = 0; v < g.order(); ++v) {
+    out << "  " << v;
+    if (!vertexAttrs[v].empty()) out << " [" << vertexAttrs[v] << "]";
+    out << ";\n";
+  }
+  for (const auto& e : g.edges()) {
+    out << "  " << e.u << " -- " << e.v;
+    for (const auto& [edge, attr] : edgeAttrs) {
+      if (edge == e) {
+        out << " [" << attr << "]";
+        break;
+      }
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+}
+
+void maybeWriteDot(const Options& options, const Graph& g,
+                   const std::vector<std::string>& vertexAttrs,
+                   const std::vector<std::pair<graph::Edge, std::string>>&
+                       edgeAttrs) {
+  if (options.dotPath.empty()) return;
+  std::ofstream file(options.dotPath);
+  if (!file) throw CliError("cannot write DOT file '" + options.dotPath + "'");
+  writeAnnotatedDot(file, g, vertexAttrs, edgeAttrs);
+}
+
+/// Shared driver: runs `protocol` from the configured start, tracing if
+/// requested; fills the run-related Report fields. `metric` maps a
+/// configuration to the solution size recorded in the CSV trace (matched
+/// pairs, set members, colors, tree depth, ...).
+template <typename State, typename Sampler, typename Metric>
+std::vector<State> drive(const Options& options,
+                         const engine::Protocol<State>& protocol,
+                         const Graph& g, const IdAssignment& ids,
+                         std::size_t autoBudget, Sampler sampler,
+                         Metric metric, std::ostream& out, Report& report) {
+  engine::SyncRunner<State> runner(protocol, g, ids, options.seed);
+  std::vector<State> states;
+  if (options.start == StartKind::Clean) {
+    states = runner.initialStates();
+  } else {
+    graph::Rng rng(hashCombine(options.seed, 0x5747u));
+    states = engine::randomConfiguration<State>(g, rng, sampler);
+  }
+  const std::size_t budget =
+      options.maxRounds > 0 ? options.maxRounds : autoBudget;
+
+  analysis::RoundTrace trace({"round", "moves", "size"});
+  const bool wantRows = options.trace || !options.csvPath.empty();
+
+  engine::RunResult result;
+  if (wantRows) {
+    trace.addRow({0.0, 0.0, metric(states)});
+    result = runner.run(
+        states, budget,
+        [&](std::size_t round, const std::vector<State>&,
+            const std::vector<State>& after, std::size_t moves) {
+          if (options.trace) {
+            out << "round " << round << ": " << moves << " move(s)\n";
+          }
+          trace.addRow({static_cast<double>(round + 1),
+                        static_cast<double>(moves), metric(after)});
+        });
+  } else {
+    result = runner.run(states, budget);
+  }
+  if (!options.csvPath.empty()) {
+    std::ofstream csv(options.csvPath);
+    if (!csv) {
+      throw CliError("cannot write CSV file '" + options.csvPath + "'");
+    }
+    trace.writeCsv(csv);
+  }
+  report.rounds = result.rounds;
+  report.moves = result.totalMoves;
+  report.stabilized = result.stabilized;
+  return states;
+}
+
+/// Metric: matched pairs in the configuration.
+inline auto matchingMetric(const Graph& g) {
+  return [&g](const std::vector<core::PointerState>& states) {
+    return static_cast<double>(analysis::matchedEdges(g, states).size());
+  };
+}
+
+/// Metric: set membership count (works for any state with an `in` bit).
+template <typename State>
+auto membershipMetric() {
+  return [](const std::vector<State>& states) {
+    std::size_t count = 0;
+    for (const auto& s : states) count += s.in ? 1 : 0;
+    return static_cast<double>(count);
+  };
+}
+
+Report runMatching(const Options& options, const Graph& g,
+                   const IdAssignment& ids, std::ostream& out) {
+  Report report;
+  std::vector<core::PointerState> states;
+
+  const std::size_t budget = std::max<std::size_t>(g.order() + 2, 16);
+  if (options.protocol == ProtocolKind::Smm) {
+    const core::SmmProtocol smm = core::smmPaper();
+    report.protocol = std::string(smm.name());
+    states = drive(options, smm, g, ids, budget, core::randomPointerState,
+                   matchingMetric(g), out, report);
+  } else if (options.protocol == ProtocolKind::SmmArbitrary) {
+    const core::SmmProtocol broken =
+        core::smmArbitrary(core::Choice::Successor);
+    report.protocol = std::string(broken.name());
+    states = drive(options, broken, g, ids, 4 * g.order() + 64,
+                   core::randomPointerState, matchingMetric(g), out, report);
+    if (!report.stabilized) {
+      // Deterministic protocol: certify the livelock by finding the cycle.
+      engine::SyncRunner<core::PointerState> probe(broken, g, ids);
+      auto start = options.start == StartKind::Clean
+                       ? probe.initialStates()
+                       : states;  // wherever we ended up still cycles
+      const auto trajectory = engine::traceTrajectory(
+          broken, g, ids, std::move(start), 4 * g.order() + 64);
+      report.livelockCertified = trajectory.cycled;
+    }
+  } else {  // HsuHuangSync
+    const core::Synchronized<core::SmmProtocol> wrapped(core::Choice::First,
+                                                        core::Choice::First);
+    report.protocol = std::string(wrapped.name());
+    states = drive(options, wrapped, g, ids, 64 * g.order() + 256,
+                   core::randomPointerState, matchingMetric(g), out, report);
+  }
+
+  const auto pairs = analysis::matchedEdges(g, states);
+  report.predicateOk =
+      report.stabilized && analysis::checkMatchingFixpoint(g, states).ok();
+  std::ostringstream summary;
+  summary << "matching: " << pairs.size() << " pair(s), "
+          << (2 * pairs.size()) << "/" << g.order() << " nodes matched";
+  report.summary = summary.str();
+
+  std::vector<std::string> vattrs(g.order());
+  std::vector<std::pair<graph::Edge, std::string>> eattrs;
+  for (const auto& e : pairs) {
+    vattrs[e.u] = vattrs[e.v] = "style=filled,fillcolor=lightblue";
+    eattrs.emplace_back(e, "penwidth=3,color=blue");
+  }
+  maybeWriteDot(options, g, vattrs, eattrs);
+  return report;
+}
+
+Report runSis(const Options& options, const Graph& g, const IdAssignment& ids,
+              std::ostream& out) {
+  Report report;
+  const core::SisProtocol sis;
+  report.protocol = std::string(sis.name());
+  auto states = drive(options, sis, g, ids, g.order() + 1,
+                      core::randomBitState, membershipMetric<core::BitState>(),
+                      out, report);
+  const auto members = analysis::membersOf(states);
+  report.predicateOk =
+      report.stabilized && analysis::isMaximalIndependentSet(g, members);
+  std::ostringstream summary;
+  summary << "independent set: " << members.size() << " member(s)";
+  report.summary = summary.str();
+
+  std::vector<std::string> vattrs(g.order());
+  for (const Vertex v : members) {
+    vattrs[v] = "style=filled,fillcolor=gold";
+  }
+  maybeWriteDot(options, g, vattrs, {});
+  return report;
+}
+
+Report runColoring(const Options& options, const Graph& g,
+                   const IdAssignment& ids, std::ostream& out) {
+  Report report;
+  const core::ColoringProtocol coloring;
+  report.protocol = std::string(coloring.name());
+  auto states = drive(
+      options, coloring, g, ids, g.order() + 1, core::randomColorState,
+      [](const std::vector<core::ColorState>& st) {
+        return static_cast<double>(analysis::colorCount(st));
+      },
+      out, report);
+  report.predicateOk =
+      report.stabilized && analysis::isProperColoring(g, states);
+  std::ostringstream summary;
+  summary << "proper coloring with " << analysis::colorCount(states)
+          << " color(s) (Delta+1 = " << g.maxDegree() + 1 << ")";
+  report.summary = summary.str();
+
+  static const char* kPalette[] = {"lightblue",  "gold",   "palegreen",
+                                   "lightcoral", "plum",   "khaki",
+                                   "lightgray",  "orange", "cyan"};
+  std::vector<std::string> vattrs(g.order());
+  for (Vertex v = 0; v < g.order(); ++v) {
+    vattrs[v] = std::string("style=filled,fillcolor=") +
+                kPalette[states[v].color % 9] + ",label=\"" +
+                std::to_string(v) + ":" + std::to_string(states[v].color) +
+                "\"";
+  }
+  maybeWriteDot(options, g, vattrs, {});
+  return report;
+}
+
+Report runDominatingSet(const Options& options, const Graph& g,
+                        const IdAssignment& ids, std::ostream& out) {
+  Report report;
+  const core::Synchronized<core::DominatingSetProtocol> dom;
+  report.protocol = std::string(dom.name());
+  auto states = drive(options, dom, g, ids, 64 * g.order() + 256,
+                      core::randomDomState,
+                      membershipMetric<core::DomState>(), out, report);
+  const auto members = analysis::membersOf(states);
+  report.predicateOk =
+      report.stabilized && analysis::isMinimalDominatingSet(g, members);
+  std::ostringstream summary;
+  summary << "minimal dominating set: " << members.size() << " member(s)";
+  report.summary = summary.str();
+
+  std::vector<std::string> vattrs(g.order());
+  for (const Vertex v : members) {
+    vattrs[v] = "style=filled,fillcolor=lightcoral";
+  }
+  maybeWriteDot(options, g, vattrs, {});
+  return report;
+}
+
+Report runBfsTree(const Options& options, const Graph& g,
+                  const IdAssignment& ids, std::ostream& out) {
+  Report report;
+  // Root: the vertex holding the smallest ID (deterministic under every
+  // --ids mode).
+  Vertex root = 0;
+  for (Vertex v = 1; v < g.order(); ++v) {
+    if (ids.less(v, root)) root = v;
+  }
+  const auto cap = static_cast<std::uint32_t>(std::max<std::size_t>(
+      g.order(), 1));
+  const core::BfsTreeProtocol bfs(ids.idOf(root), cap);
+  report.protocol = std::string(bfs.name());
+  auto states = drive(
+      options, bfs, g, ids, 3 * g.order() + 8, core::randomTreeState,
+      [cap](const std::vector<core::TreeState>& st) {
+        std::uint32_t depth = 0;
+        for (const auto& t : st) {
+          if (t.dist < cap) depth = std::max(depth, t.dist);
+        }
+        return static_cast<double>(depth);
+      },
+      out, report);
+  report.predicateOk =
+      report.stabilized &&
+      analysis::isShortestPathTree(g, ids, root, cap, states);
+  std::uint32_t depth = 0;
+  for (const auto& s : states) {
+    if (s.dist < cap) depth = std::max(depth, s.dist);
+  }
+  std::ostringstream summary;
+  summary << "BFS tree rooted at " << root << ", depth " << depth;
+  report.summary = summary.str();
+
+  std::vector<std::string> vattrs(g.order());
+  vattrs[root] = "style=filled,fillcolor=gold";
+  std::vector<std::pair<graph::Edge, std::string>> eattrs;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    if (v != root && states[v].parent != graph::kNoVertex) {
+      eattrs.emplace_back(graph::makeEdge(v, states[v].parent),
+                          "penwidth=3,color=forestgreen");
+    }
+  }
+  maybeWriteDot(options, g, vattrs, eattrs);
+  return report;
+}
+
+Report runLeaderTree(const Options& options, const Graph& g,
+                     const IdAssignment& ids, std::ostream& out) {
+  Report report;
+  const auto cap = static_cast<std::uint32_t>(std::max<std::size_t>(
+      g.order(), 1));
+  const core::LeaderTreeProtocol protocol(cap);
+  report.protocol = std::string(protocol.name());
+  auto states = drive(
+      options, protocol, g, ids, 3 * g.order() + 8, core::randomLeaderState,
+      [](const std::vector<core::LeaderState>& st) {
+        std::uint32_t depth = 0;
+        for (const auto& t : st) depth = std::max(depth, t.dist);
+        return static_cast<double>(depth);
+      },
+      out, report);
+  report.predicateOk =
+      report.stabilized && analysis::isLeaderTree(g, ids, states);
+
+  // Elected leader (of vertex 0's component — the whole graph if connected).
+  Vertex leader = graph::kNoVertex;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    if (ids.idOf(v) == states[0].root) {
+      leader = v;
+      break;
+    }
+  }
+  std::uint32_t depth = 0;
+  for (const auto& s : states) {
+    if (s.root == states[0].root) depth = std::max(depth, s.dist);
+  }
+  std::ostringstream summary;
+  summary << "leader " << leader << " (id " << states[0].root
+          << "), tree depth " << depth;
+  report.summary = summary.str();
+
+  std::vector<std::string> vattrs(g.order());
+  if (leader != graph::kNoVertex) {
+    vattrs[leader] = "style=filled,fillcolor=gold";
+  }
+  std::vector<std::pair<graph::Edge, std::string>> eattrs;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    if (states[v].parent != graph::kNoVertex) {
+      eattrs.emplace_back(graph::makeEdge(v, states[v].parent),
+                          "penwidth=3,color=forestgreen");
+    }
+  }
+  maybeWriteDot(options, g, vattrs, eattrs);
+  return report;
+}
+
+}  // namespace
+
+Graph buildGraph(const GraphSpec& spec, std::uint64_t seed) {
+  graph::Rng rng(hashCombine(seed, 0x6772617068ULL));
+  switch (spec.kind) {
+    case GraphSpec::Kind::Path:
+      return graph::path(spec.n);
+    case GraphSpec::Kind::Cycle:
+      return graph::cycle(spec.n);
+    case GraphSpec::Kind::Star:
+      return graph::star(spec.n);
+    case GraphSpec::Kind::Complete:
+      return graph::complete(spec.n);
+    case GraphSpec::Kind::Grid:
+      return graph::grid(spec.n, spec.cols);
+    case GraphSpec::Kind::Tree:
+      return graph::randomTree(spec.n, rng);
+    case GraphSpec::Kind::Gnp:
+      return graph::connectedErdosRenyi(spec.n, spec.param, rng);
+    case GraphSpec::Kind::Udg:
+      return graph::connectedRandomGeometric(spec.n, spec.param, rng);
+    case GraphSpec::Kind::File: {
+      std::ifstream file(spec.path);
+      if (!file) throw CliError("cannot open graph file '" + spec.path + "'");
+      try {
+        return graph::readEdgeList(file);
+      } catch (const graph::ParseError& e) {
+        throw CliError("bad graph file '" + spec.path + "': " + e.what());
+      }
+    }
+  }
+  throw CliError("unhandled graph kind");
+}
+
+IdAssignment buildIds(IdOrderKind kind, std::size_t n, std::uint64_t seed) {
+  switch (kind) {
+    case IdOrderKind::Identity:
+      return IdAssignment::identity(n);
+    case IdOrderKind::Reversed:
+      return IdAssignment::reversed(n);
+    case IdOrderKind::Random: {
+      graph::Rng rng(hashCombine(seed, 0x696473ULL));
+      return IdAssignment::randomPermutation(n, rng);
+    }
+  }
+  throw CliError("unhandled id order");
+}
+
+Report execute(const Options& options, std::ostream& out) {
+  const Graph g = buildGraph(options.graph, options.seed);
+  if (g.order() == 0) throw CliError("empty graph");
+  if (!options.saveGraphPath.empty()) {
+    std::ofstream file(options.saveGraphPath);
+    if (!file) {
+      throw CliError("cannot write graph file '" + options.saveGraphPath +
+                     "'");
+    }
+    graph::writeEdgeList(file, g);
+  }
+  const IdAssignment ids = buildIds(options.idOrder, g.order(), options.seed);
+
+  Report report;
+  switch (options.protocol) {
+    case ProtocolKind::Smm:
+    case ProtocolKind::SmmArbitrary:
+    case ProtocolKind::HsuHuangSync:
+      report = runMatching(options, g, ids, out);
+      break;
+    case ProtocolKind::Sis:
+      report = runSis(options, g, ids, out);
+      break;
+    case ProtocolKind::Coloring:
+      report = runColoring(options, g, ids, out);
+      break;
+    case ProtocolKind::DominatingSet:
+      report = runDominatingSet(options, g, ids, out);
+      break;
+    case ProtocolKind::BfsTree:
+      report = runBfsTree(options, g, ids, out);
+      break;
+    case ProtocolKind::LeaderTree:
+      report = runLeaderTree(options, g, ids, out);
+      break;
+  }
+  report.n = g.order();
+  report.m = g.size();
+  return report;
+}
+
+void printReport(const Report& report, std::ostream& out) {
+  out << "protocol    : " << report.protocol << '\n'
+      << "graph       : " << report.n << " nodes, " << report.m << " edges\n"
+      << "stabilized  : " << (report.stabilized ? "yes" : "NO");
+  if (report.livelockCertified) out << " (livelock certified: configuration repeats)";
+  out << '\n'
+      << "rounds      : " << report.rounds << '\n'
+      << "moves       : " << report.moves << '\n'
+      << "result      : " << report.summary << '\n'
+      << "verified    : " << (report.predicateOk ? "yes" : "NO") << '\n';
+}
+
+}  // namespace selfstab::cli

@@ -1,0 +1,43 @@
+// Execution engine of the `selfstab` CLI: materialize the graph, run the
+// requested protocol, verify the stabilized predicate, and report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cli/options.hpp"
+#include "graph/graph.hpp"
+#include "graph/id_order.hpp"
+
+namespace selfstab::cli {
+
+struct Report {
+  std::string protocol;
+  std::size_t n = 0;
+  std::size_t m = 0;
+  std::size_t rounds = 0;
+  std::size_t moves = 0;
+  bool stabilized = false;
+  bool livelockCertified = false;  ///< deterministic revisit detected
+  bool predicateOk = false;
+  std::string summary;  ///< e.g. "maximal matching: 12 pairs"
+};
+
+/// Builds the topology described by `spec` (reads files for Kind::File).
+/// Generator-based specs retry/connect so the result is connected, matching
+/// the paper's system model.
+[[nodiscard]] graph::Graph buildGraph(const GraphSpec& spec,
+                                      std::uint64_t seed);
+
+[[nodiscard]] graph::IdAssignment buildIds(IdOrderKind kind, std::size_t n,
+                                           std::uint64_t seed);
+
+/// Runs one protocol per `options`; trace lines (when enabled) and the DOT
+/// file go through/into the given stream/path. Throws CliError on
+/// unusable input.
+[[nodiscard]] Report execute(const Options& options, std::ostream& out);
+
+/// Renders the report in the CLI's human-readable format.
+void printReport(const Report& report, std::ostream& out);
+
+}  // namespace selfstab::cli

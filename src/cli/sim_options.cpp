@@ -1,0 +1,167 @@
+#include "cli/sim_options.hpp"
+
+#include <charconv>
+
+namespace selfstab::cli {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) { throw CliError(message); }
+
+std::uint64_t parseU64(const std::string& text, const std::string& what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    fail("invalid " + what + ": '" + text + "'");
+  }
+  return value;
+}
+
+double parseProbability(const std::string& text, const std::string& what) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size() || value < 0.0 || value > 1.0) {
+      fail("invalid " + what + " (want [0,1]): '" + text + "'");
+    }
+    return value;
+  } catch (const std::logic_error&) {
+    fail("invalid " + what + ": '" + text + "'");
+  }
+}
+
+double parsePositive(const std::string& text, const std::string& what) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size() || value <= 0.0) {
+      fail("invalid " + what + " (want > 0): '" + text + "'");
+    }
+    return value;
+  } catch (const std::logic_error&) {
+    fail("invalid " + what + ": '" + text + "'");
+  }
+}
+
+adhoc::SimTime secondsToSimTime(const std::string& text,
+                                const std::string& what) {
+  return static_cast<adhoc::SimTime>(parsePositive(text, what) *
+                                     static_cast<double>(adhoc::kSecond));
+}
+
+}  // namespace
+
+SimOptions parseSimOptions(const std::vector<std::string>& args) {
+  SimOptions options;
+
+  const auto next = [&](std::size_t& i, const std::string& flag) {
+    if (i + 1 >= args.size()) fail("missing value for " + flag);
+    return args[++i];
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (arg == "--protocol" || arg == "-p") {
+      const std::string value = next(i, arg);
+      if (value == "smm") {
+        options.protocol = SimProtocolKind::Smm;
+      } else if (value == "sis") {
+        options.protocol = SimProtocolKind::Sis;
+      } else if (value == "leadertree") {
+        options.protocol = SimProtocolKind::LeaderTree;
+      } else {
+        fail("unknown protocol '" + value + "'");
+      }
+    } else if (arg == "--nodes" || arg == "-n") {
+      options.nodes = parseU64(next(i, arg), "node count");
+      if (options.nodes == 0) fail("need at least one node");
+    } else if (arg == "--radius") {
+      options.radius = parsePositive(next(i, arg), "radius");
+    } else if (arg == "--seed") {
+      options.seed = parseU64(next(i, arg), "seed");
+    } else if (arg == "--beacon-ms") {
+      options.beaconInterval =
+          static_cast<adhoc::SimTime>(parseU64(next(i, arg), "beacon-ms")) *
+          adhoc::kMillisecond;
+      if (options.beaconInterval <= 0) fail("beacon interval must be > 0");
+    } else if (arg == "--loss") {
+      options.lossProbability = parseProbability(next(i, arg), "loss");
+    } else if (arg == "--collision-us") {
+      options.collisionWindow = static_cast<adhoc::SimTime>(
+          parseU64(next(i, arg), "collision-us"));
+    } else if (arg == "--timeout-factor") {
+      options.timeoutFactor = parsePositive(next(i, arg), "timeout factor");
+    } else if (arg == "--mobility") {
+      const std::string value = next(i, arg);
+      if (value == "static") {
+        options.mobility = MobilityKind::Static;
+      } else if (value == "waypoint") {
+        options.mobility = MobilityKind::Waypoint;
+      } else {
+        fail("unknown mobility '" + value + "'");
+      }
+    } else if (arg == "--speed") {
+      const std::string value = next(i, arg);
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) fail("speed spec must be MIN:MAX");
+      options.speedMin = parsePositive(value.substr(0, colon), "speed min");
+      options.speedMax = parsePositive(value.substr(colon + 1), "speed max");
+      if (options.speedMin > options.speedMax) fail("speed min > max");
+    } else if (arg == "--stop-sec") {
+      options.stopTime = secondsToSimTime(next(i, arg), "stop-sec");
+    } else if (arg == "--duration-sec") {
+      options.duration = secondsToSimTime(next(i, arg), "duration-sec");
+    } else if (arg == "--report-sec") {
+      options.reportEvery = secondsToSimTime(next(i, arg), "report-sec");
+    } else if (arg == "--no-early-stop") {
+      options.untilQuiet = false;
+    } else {
+      fail("unknown argument '" + arg + "' (try --help)");
+    }
+  }
+  return options;
+}
+
+std::string simUsage() {
+  return R"(selfstab-sim — protocols over the beacon-model network simulator
+
+usage: selfstab-sim [options]
+
+  --protocol, -p   smm | sis | leadertree                [default: smm]
+  --nodes, -n      host count                            [default: 25]
+  --radius         radio range (unit-square widths)      [default: 0.35]
+  --seed           64-bit seed                           [default: 1]
+  --beacon-ms      beacon interval in milliseconds       [default: 100]
+  --loss           per-beacon loss probability           [default: 0]
+  --collision-us   MAC collision window in microseconds  [default: 0 = off]
+  --timeout-factor neighbor expiry in beacon intervals   [default: 2.5]
+  --mobility       static | waypoint                     [default: static]
+  --speed          waypoint speed range MIN:MAX          [default: 0.01:0.04]
+  --stop-sec       freeze waypoint motion at this time   [default: never]
+  --duration-sec   simulated time budget                 [default: 60]
+  --report-sec     timeline row interval                 [default: 10]
+  --no-early-stop  run the full duration even if quiet
+  --help, -h       this text
+
+examples:
+  selfstab-sim -p smm -n 30 --loss 0.1
+  selfstab-sim -p sis --mobility waypoint --stop-sec 40 --duration-sec 120
+)";
+}
+
+std::string_view toString(SimProtocolKind kind) noexcept {
+  switch (kind) {
+    case SimProtocolKind::Smm:
+      return "smm";
+    case SimProtocolKind::Sis:
+      return "sis";
+    case SimProtocolKind::LeaderTree:
+      return "leadertree";
+  }
+  return "?";
+}
+
+}  // namespace selfstab::cli

@@ -1,0 +1,45 @@
+// Option grammar of the `selfstab-sim` tool: protocols over the
+// discrete-event beacon simulator (deployment geometry, mobility, link
+// quality, timeline reporting).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adhoc/sim_time.hpp"
+#include "cli/options.hpp"  // CliError
+
+namespace selfstab::cli {
+
+enum class SimProtocolKind { Smm, Sis, LeaderTree };
+enum class MobilityKind { Static, Waypoint };
+
+struct SimOptions {
+  SimProtocolKind protocol = SimProtocolKind::Smm;
+  std::size_t nodes = 25;
+  double radius = 0.35;
+  std::uint64_t seed = 1;
+
+  adhoc::SimTime beaconInterval = 100 * adhoc::kMillisecond;
+  double lossProbability = 0.0;
+  adhoc::SimTime collisionWindow = 0;
+  double timeoutFactor = 2.5;
+
+  MobilityKind mobility = MobilityKind::Static;
+  double speedMin = 0.01;
+  double speedMax = 0.04;
+  adhoc::SimTime stopTime = -1;  ///< freeze waypoint motion; -1 = never
+
+  adhoc::SimTime duration = 60 * adhoc::kSecond;  ///< simulated time budget
+  adhoc::SimTime reportEvery = 10 * adhoc::kSecond;
+  bool untilQuiet = true;  ///< stop early once the protocol quiesces
+
+  bool help = false;
+};
+
+[[nodiscard]] SimOptions parseSimOptions(const std::vector<std::string>& args);
+[[nodiscard]] std::string simUsage();
+[[nodiscard]] std::string_view toString(SimProtocolKind kind) noexcept;
+
+}  // namespace selfstab::cli

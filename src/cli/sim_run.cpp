@@ -1,0 +1,186 @@
+#include "cli/sim_run.hpp"
+
+#include <iomanip>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "adhoc/network.hpp"
+#include "analysis/verifiers.hpp"
+#include "core/leader_tree.hpp"
+#include "core/sis.hpp"
+#include "core/smm.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::cli {
+
+namespace {
+
+using adhoc::SimTime;
+
+std::unique_ptr<adhoc::Mobility> makeMobility(const SimOptions& options) {
+  graph::Rng rng(hashCombine(options.seed, 0x6d6f62ULL));
+  if (options.mobility == MobilityKind::Static) {
+    std::vector<graph::Point> pts;
+    graph::connectedRandomGeometric(options.nodes, options.radius, rng, &pts);
+    return std::make_unique<adhoc::StaticPlacement>(std::move(pts));
+  }
+  adhoc::RandomWaypoint::Config wp;
+  wp.speedMin = options.speedMin;
+  wp.speedMax = options.speedMax;
+  wp.stopTime = options.stopTime;
+  return std::make_unique<adhoc::RandomWaypoint>(
+      graph::randomPoints(options.nodes, rng), wp, options.seed * 31 + 7);
+}
+
+adhoc::NetworkConfig makeConfig(const SimOptions& options) {
+  adhoc::NetworkConfig config;
+  config.beaconInterval = options.beaconInterval;
+  config.lossProbability = options.lossProbability;
+  config.collisionWindow = options.collisionWindow;
+  config.timeoutFactor = options.timeoutFactor;
+  config.radius = options.radius;
+  config.seed = options.seed;
+  return config;
+}
+
+/// Drives one protocol type through the timeline loop. `verify` and
+/// `describe` evaluate the final configuration against the ground-truth
+/// bidirectional topology.
+template <typename State, typename Verify, typename Describe>
+SimReport driveSim(const SimOptions& options,
+                   const engine::Protocol<State>& protocol,
+                   const graph::IdAssignment& ids, Verify verify,
+                   Describe describe, std::ostream& out) {
+  auto mobility = makeMobility(options);
+  adhoc::NetworkSimulator<State> sim(protocol, ids, *mobility,
+                                     makeConfig(options));
+
+  out << "time(s)  links  moves  beacons(sent/lost/coll)\n";
+  const SimTime quietWindow = 5 * options.beaconInterval;
+  bool quiet = false;
+  for (SimTime t = options.reportEvery; t <= options.duration;
+       t += options.reportEvery) {
+    if (options.untilQuiet) {
+      const auto result = sim.runUntilQuiet(quietWindow, t);
+      quiet = result.quiet;
+    } else {
+      sim.run(t);
+    }
+    const auto& stats = sim.stats();
+    out << std::setw(7) << sim.now() / adhoc::kSecond << "  " << std::setw(5)
+        << sim.currentTopology().size() << "  " << std::setw(5) << stats.moves
+        << "  " << stats.beaconsSent << "/" << stats.beaconsLost << "/"
+        << stats.beaconsCollided << '\n';
+    if (quiet) break;
+  }
+
+  SimReport report;
+  report.protocol = std::string(protocol.name());
+  report.nodes = options.nodes;
+  report.endTime = sim.now();
+  report.quiet =
+      options.untilQuiet ? quiet
+                         : (sim.now() - sim.lastMoveTime() >= quietWindow);
+  const graph::Graph topo = sim.currentTopology();
+  const auto states = sim.states();
+  report.predicateOk = report.quiet && verify(topo, states);
+  report.summary = describe(topo, states);
+  const auto& stats = sim.stats();
+  report.beaconsSent = stats.beaconsSent;
+  report.beaconsDelivered = stats.beaconsDelivered;
+  report.beaconsLost = stats.beaconsLost;
+  report.beaconsCollided = stats.beaconsCollided;
+  report.moves = stats.moves;
+  return report;
+}
+
+}  // namespace
+
+SimReport executeSim(const SimOptions& options, std::ostream& out) {
+  const graph::IdAssignment ids =
+      graph::IdAssignment::identity(options.nodes);
+
+  switch (options.protocol) {
+    case SimProtocolKind::Smm: {
+      const core::SmmProtocol smm = core::smmPaper();
+      return driveSim<core::PointerState>(
+          options, smm, ids,
+          [](const graph::Graph& g,
+             const std::vector<core::PointerState>& states) {
+            return analysis::checkMatchingFixpoint(g, states).ok();
+          },
+          [](const graph::Graph& g,
+             const std::vector<core::PointerState>& states) {
+            std::ostringstream ss;
+            ss << "matching: " << analysis::matchedEdges(g, states).size()
+               << " pair(s)";
+            return ss.str();
+          },
+          out);
+    }
+    case SimProtocolKind::Sis: {
+      const core::SisProtocol sis;
+      return driveSim<core::BitState>(
+          options, sis, ids,
+          [](const graph::Graph& g,
+             const std::vector<core::BitState>& states) {
+            return analysis::isMaximalIndependentSet(
+                g, analysis::membersOf(states));
+          },
+          [](const graph::Graph&,
+             const std::vector<core::BitState>& states) {
+            std::ostringstream ss;
+            ss << "independent set: " << analysis::membersOf(states).size()
+               << " member(s)";
+            return ss.str();
+          },
+          out);
+    }
+    case SimProtocolKind::LeaderTree: {
+      const core::LeaderTreeProtocol protocol(
+          static_cast<std::uint32_t>(options.nodes));
+      return driveSim<core::LeaderState>(
+          options, protocol, ids,
+          [](const graph::Graph& g,
+             const std::vector<core::LeaderState>& states) {
+            const graph::IdAssignment identity =
+                graph::IdAssignment::identity(g.order());
+            return analysis::isLeaderTree(g, identity, states);
+          },
+          [](const graph::Graph&,
+             const std::vector<core::LeaderState>& states) {
+            std::uint32_t depth = 0;
+            for (const auto& s : states) {
+              if (!states.empty() && s.root == states[0].root) {
+                depth = std::max(depth, s.dist);
+              }
+            }
+            std::ostringstream ss;
+            ss << "leader id " << (states.empty() ? 0 : states[0].root)
+               << ", tree depth " << depth;
+            return ss.str();
+          },
+          out);
+    }
+  }
+  throw CliError("unhandled protocol");
+}
+
+void printSimReport(const SimReport& report, std::ostream& out) {
+  out << "protocol    : " << report.protocol << '\n'
+      << "hosts       : " << report.nodes << '\n'
+      << "sim time    : " << std::fixed << std::setprecision(1)
+      << static_cast<double>(report.endTime) /
+             static_cast<double>(adhoc::kSecond)
+      << "s\n"
+      << "quiet       : " << (report.quiet ? "yes" : "NO") << '\n'
+      << "beacons     : " << report.beaconsSent << " sent, "
+      << report.beaconsDelivered << " delivered, " << report.beaconsLost
+      << " lost, " << report.beaconsCollided << " collided\n"
+      << "moves       : " << report.moves << '\n'
+      << "result      : " << report.summary << '\n'
+      << "verified    : " << (report.predicateOk ? "yes" : "NO") << '\n';
+}
+
+}  // namespace selfstab::cli

@@ -1,0 +1,32 @@
+// Execution engine of `selfstab-sim`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cli/sim_options.hpp"
+
+namespace selfstab::cli {
+
+struct SimReport {
+  std::string protocol;
+  std::size_t nodes = 0;
+  adhoc::SimTime endTime = 0;
+  bool quiet = false;        ///< no state change for the quiet window
+  bool predicateOk = false;  ///< verified on the final bidirectional topology
+  std::size_t beaconsSent = 0;
+  std::size_t beaconsDelivered = 0;
+  std::size_t beaconsLost = 0;
+  std::size_t beaconsCollided = 0;
+  std::size_t moves = 0;
+  std::string summary;
+};
+
+/// Runs the simulation described by `options`, printing a timeline row
+/// every reportEvery of simulated time to `out`.
+[[nodiscard]] SimReport executeSim(const SimOptions& options,
+                                   std::ostream& out);
+
+void printSimReport(const SimReport& report, std::ostream& out);
+
+}  // namespace selfstab::cli

@@ -1,0 +1,86 @@
+// Extension: synchronous self-stabilizing graph coloring.
+//
+// The paper's reference [7] (Hedetniemi, Jacobs, Srimani — "Fault tolerant
+// distributed coloring algorithms that stabilize in linear time") belongs to
+// the same research program, and the introduction lists minimal coloring
+// among the global predicates these techniques maintain. We implement the
+// one-rule ID-based variant in that style:
+//
+//   R: c(i) ≠ mex{ c(j) : j ∈ N(i), id(j) > id(i) }  ⇒  c(i) := that mex
+//
+// where mex(S) is the minimum non-negative integer not in S. At a fixpoint
+// the coloring is proper (two adjacent nodes cannot both equal the mex over
+// their bigger neighbors) and uses at most 1 + max "up-degree" colors, hence
+// at most Δ+1. It stabilizes in at most n synchronous rounds: nodes become
+// fixed in decreasing ID order, one per round in the worst case.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/protocol.hpp"
+#include "graph/rng.hpp"
+
+namespace selfstab::core {
+
+struct ColorState {
+  std::uint32_t color = 0;
+
+  friend constexpr bool operator==(const ColorState&,
+                                   const ColorState&) = default;
+
+  friend constexpr std::uint64_t hashValue(const ColorState& s) noexcept {
+    return mix64(s.color + 0x51afd7edULL);
+  }
+};
+
+/// Random color in [0, maxDegree]: the range the algorithm itself stays in.
+/// Corruption may of course set anything; the rule repairs any value.
+inline ColorState randomColorState(graph::Vertex v, const graph::Graph& g,
+                                   Rng& rng) {
+  (void)v;
+  return ColorState{
+      static_cast<std::uint32_t>(rng.below(g.maxDegree() + 1))};
+}
+
+class ColoringProtocol final : public engine::Protocol<ColorState> {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "grundy-coloring";
+  }
+
+  [[nodiscard]] std::optional<ColorState> onRound(
+      const engine::LocalView<ColorState>& view) const override {
+    // Compute mex over bigger neighbors' colors with a small bitset-on-stack
+    // approach: only values in [0, deg] matter.
+    const std::size_t cap = view.neighbors.size() + 1;
+    std::uint64_t smallMask = 0;  // covers mex candidates < 64
+    std::vector<bool> largeSeen;  // lazily allocated beyond 64
+    for (const auto& nbr : view.neighbors) {
+      if (nbr.id <= view.selfId) continue;
+      const std::uint32_t c = nbr.state->color;
+      if (c < 64) {
+        smallMask |= (std::uint64_t{1} << c);
+      } else if (c < cap) {
+        if (largeSeen.empty()) largeSeen.assign(cap, false);
+        largeSeen[c] = true;
+      }
+    }
+    std::uint32_t mex = 0;
+    while (mex < cap) {
+      const bool taken = mex < 64
+                             ? ((smallMask >> mex) & 1u) != 0
+                             : (!largeSeen.empty() && largeSeen[mex]);
+      if (!taken) break;
+      ++mex;
+    }
+    if (view.state().color == mex) return std::nullopt;
+    return ColorState{mex};
+  }
+
+  [[nodiscard]] ColorState initialState(graph::Vertex) const override {
+    return ColorState{0};
+  }
+};
+
+}  // namespace selfstab::core

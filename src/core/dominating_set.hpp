@@ -1,0 +1,98 @@
+// Extension: self-stabilizing minimal dominating set.
+//
+// The paper's introduction motivates maintaining "a minimal dominating set
+// ... to optimize the number and the locations of the resource centers in a
+// network" (reference [5]). The classical central-daemon algorithm needs
+// distance-2 information (does a neighbor have another dominator?), which a
+// beacon can only carry as a *published* variable. We therefore keep, next
+// to the membership bit x(i), a published dominator count c(i) = |N[i] ∩ S|
+// maintained by a bookkeeping rule, and express the enter/leave guards
+// against fresh local counts plus neighbors' published counts:
+//
+//   RC [refresh]: c(i) ≠ |N[i] ∩ S|                        ⇒ c(i) := |N[i] ∩ S|
+//   R1 [enter]  : x(i)=0 ∧ |N[i] ∩ S| = 0                  ⇒ x(i) := 1 (and c)
+//   R2 [leave]  : x(i)=1 ∧ |N[i] ∩ S| ≥ 2 ∧ c(i) fresh
+//                 ∧ ∀j∈N(i): x(j)=0 ⇒ c(j) ≥ 2             ⇒ x(i) := 0 (and c)
+//
+// (|N[i] ∩ S| is computed from the neighbors' x bits in the current view;
+// "c(i) fresh" means the node's own published count matches it.) At any
+// fixpoint all counts are correct, R1-disabled means every node is
+// dominated, and R2-disabled means every member has a private neighbor or is
+// its own private neighbor — i.e. S is a *minimal* dominating set.
+//
+// Because R2 trusts neighbors' published counts, which lag one move behind,
+// this protocol is intended to run under a central daemon or under the
+// Synchronized<> local-mutex wrapper (core/local_mutex.hpp), mirroring how
+// the paper says central-daemon algorithms are deployed in the beacon model.
+// Plain synchronous execution may oscillate; tests document both behaviors.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/protocol.hpp"
+#include "graph/rng.hpp"
+
+namespace selfstab::core {
+
+struct DomState {
+  bool in = false;            ///< x(i): membership in S
+  std::uint32_t published = 0;  ///< c(i): advertised |N[i] ∩ S|
+
+  friend constexpr bool operator==(const DomState&, const DomState&) = default;
+
+  friend constexpr std::uint64_t hashValue(const DomState& s) noexcept {
+    return mix64((std::uint64_t{s.published} << 1) | (s.in ? 1 : 0));
+  }
+};
+
+inline DomState randomDomState(graph::Vertex v, const graph::Graph& g,
+                               Rng& rng) {
+  DomState s;
+  s.in = rng.chance(0.5);
+  s.published = static_cast<std::uint32_t>(rng.below(g.degree(v) + 2));
+  return s;
+}
+
+class DominatingSetProtocol final : public engine::Protocol<DomState> {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "minimal-dominating-set";
+  }
+
+  [[nodiscard]] std::optional<DomState> onRound(
+      const engine::LocalView<DomState>& view) const override {
+    const DomState& self = view.state();
+
+    // Fresh dominator count of the closed neighborhood.
+    std::uint32_t fresh = self.in ? 1u : 0u;
+    for (const auto& nbr : view.neighbors) {
+      if (nbr.state->in) ++fresh;
+    }
+
+    // R1 [enter]: undominated nodes join unconditionally.
+    if (!self.in && fresh == 0) return DomState{true, 1};
+
+    // RC [refresh] has priority over leaving: publish a correct count first
+    // so neighbors never base a leave on a count staler than one move.
+    if (self.published != fresh) return DomState{self.in, fresh};
+
+    // R2 [leave]: redundant member with no private neighbor.
+    if (self.in && fresh >= 2) {
+      bool hasPrivateNeighbor = false;
+      for (const auto& nbr : view.neighbors) {
+        if (!nbr.state->in && nbr.state->published < 2) {
+          hasPrivateNeighbor = true;
+          break;
+        }
+      }
+      if (!hasPrivateNeighbor) return DomState{false, fresh - 1};
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] DomState initialState(graph::Vertex) const override {
+    return DomState{false, 0};
+  }
+};
+
+}  // namespace selfstab::core

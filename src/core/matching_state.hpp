@@ -1,0 +1,53 @@
+// Per-node state of the matching protocols.
+//
+// Section 3: "Each node i maintains a single pointer variable which is either
+// null, denoted i -> Λ, or points to one of its neighbors j, denoted i -> j."
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/rng.hpp"
+
+namespace selfstab::core {
+
+/// The single pointer variable of algorithms SMM and Hsu–Huang.
+struct PointerState {
+  /// Target vertex, or graph::kNoVertex for the null pointer Λ.
+  graph::Vertex ptr = graph::kNoVertex;
+
+  [[nodiscard]] constexpr bool isNull() const noexcept {
+    return ptr == graph::kNoVertex;
+  }
+
+  friend constexpr bool operator==(const PointerState&,
+                                   const PointerState&) = default;
+
+  friend constexpr std::uint64_t hashValue(const PointerState& s) noexcept {
+    return mix64(static_cast<std::uint64_t>(s.ptr) + 1);
+  }
+};
+
+/// Uniform sample from N(v) ∪ {Λ} — the set of *type-correct* pointer values.
+/// This spans the full configuration space the paper's proofs quantify over.
+inline PointerState randomPointerState(graph::Vertex v, const graph::Graph& g,
+                                       Rng& rng) {
+  const auto nbrs = g.neighbors(v);
+  const std::uint64_t pick = rng.below(nbrs.size() + 1);
+  if (pick == nbrs.size()) return PointerState{};  // Λ
+  return PointerState{nbrs[static_cast<std::size_t>(pick)]};
+}
+
+/// Uniform sample from V ∪ {Λ}: may produce pointers to non-neighbors or to
+/// the node itself, the kind of garbage left behind by memory corruption or
+/// by a link failing while a pointer crossed it. Protocol implementations
+/// must tolerate (and clean up) such values.
+inline PointerState wildPointerState(graph::Vertex v, const graph::Graph& g,
+                                     Rng& rng) {
+  (void)v;
+  const std::uint64_t pick = rng.below(g.order() + 1);
+  if (pick == g.order()) return PointerState{};  // Λ
+  return PointerState{static_cast<graph::Vertex>(pick)};
+}
+
+}  // namespace selfstab::core

@@ -1,0 +1,74 @@
+// Algorithm SIS — Synchronous Maximal Independent Set (paper, Figure 4;
+// called "SMI" there).
+//
+//   R1 [enter]: x(i)=0 ∧ ¬∃j∈N(i): bigger(j,i) ∧ x(j)=1   ⇒ x(i) := 1
+//   R2 [leave]: x(i)=1 ∧  ∃j∈N(i): bigger(j,i) ∧ x(j)=1   ⇒ x(i) := 0
+//
+// Theorem 2: stabilizes in at most n rounds; at a fixpoint {i : x(i)=1} is a
+// maximal independent set. "bigger" is any fixed total order on the unique
+// IDs; we default to numerically-larger-ID-is-bigger and keep the direction
+// configurable, since the proof only needs *some* total order.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/protocol.hpp"
+#include "graph/rng.hpp"
+
+namespace selfstab::core {
+
+/// Membership bit of algorithm SIS.
+struct BitState {
+  bool in = false;
+
+  friend constexpr bool operator==(const BitState&, const BitState&) = default;
+
+  friend constexpr std::uint64_t hashValue(const BitState& s) noexcept {
+    return s.in ? 0x9e3779b97f4a7c15ULL : 0x2545f4914f6cdd1dULL;
+  }
+};
+
+inline BitState randomBitState(graph::Vertex, const graph::Graph&, Rng& rng) {
+  return BitState{rng.chance(0.5)};
+}
+
+/// Which end of the ID order dominates.
+enum class Seniority {
+  LargerIdWins,   ///< j is bigger than i iff id(j) > id(i)  (default)
+  SmallerIdWins,  ///< j is bigger than i iff id(j) < id(i)
+};
+
+class SisProtocol final : public engine::Protocol<BitState> {
+ public:
+  explicit SisProtocol(Seniority seniority = Seniority::LargerIdWins)
+      : seniority_(seniority) {}
+
+  [[nodiscard]] std::string_view name() const override { return "sis"; }
+
+  [[nodiscard]] std::optional<BitState> onRound(
+      const engine::LocalView<BitState>& view) const override {
+    bool biggerNeighborIn = false;
+    for (const auto& nbr : view.neighbors) {
+      if (nbr.state->in && bigger(nbr.id, view.selfId)) {
+        biggerNeighborIn = true;
+        break;
+      }
+    }
+    if (!view.state().in && !biggerNeighborIn) return BitState{true};   // R1
+    if (view.state().in && biggerNeighborIn) return BitState{false};    // R2
+    return std::nullopt;
+  }
+
+  [[nodiscard]] BitState initialState(graph::Vertex) const override {
+    return BitState{false};
+  }
+
+ private:
+  [[nodiscard]] bool bigger(graph::Id a, graph::Id b) const noexcept {
+    return seniority_ == Seniority::LargerIdWins ? a > b : a < b;
+  }
+
+  Seniority seniority_;
+};
+
+}  // namespace selfstab::core

@@ -1,0 +1,125 @@
+#include "core/smm.hpp"
+
+#include <vector>
+
+namespace selfstab::core {
+
+namespace {
+
+using engine::LocalView;
+using engine::NeighborRef;
+
+// Applies a selection policy to a non-empty candidate list (indices into
+// view.neighbors).
+std::size_t select(Choice choice, const LocalView<PointerState>& view,
+                   const std::vector<std::size_t>& candidates) {
+  const auto& nbrs = view.neighbors;
+  const auto argBest = [&](auto betterThan) {
+    std::size_t best = candidates.front();
+    for (const std::size_t c : candidates) {
+      if (betterThan(nbrs[c].id, nbrs[best].id)) best = c;
+    }
+    return best;
+  };
+  switch (choice) {
+    case Choice::MinId:
+      return argBest([](graph::Id a, graph::Id b) { return a < b; });
+    case Choice::MaxId:
+      return argBest([](graph::Id a, graph::Id b) { return a > b; });
+    case Choice::First:
+      return candidates.front();
+    case Choice::Successor: {
+      // "Clockwise" neighbor on a cycle labelled 0..n-1: prefer the
+      // candidate whose vertex index is self+1 (vertex indices wrap only on
+      // a cycle, where self+1 may be 0; checking both covers that).
+      for (const std::size_t c : candidates) {
+        if (nbrs[c].vertex == view.self + 1 ||
+            (view.self != 0 && nbrs[c].vertex == 0 &&
+             view.find(view.self + 1) == nullptr)) {
+          // second disjunct: wrap-around candidate 0 when self is the
+          // highest-indexed vertex of a cycle
+          return c;
+        }
+      }
+      return argBest([](graph::Id a, graph::Id b) { return a < b; });
+    }
+    case Choice::Random: {
+      SplitMix64 sm(hashCombine(view.roundKey, view.selfId));
+      return candidates[sm.next() % candidates.size()];
+    }
+  }
+  return candidates.front();
+}
+
+}  // namespace
+
+std::string_view toString(Choice choice) noexcept {
+  switch (choice) {
+    case Choice::MinId:
+      return "min-id";
+    case Choice::MaxId:
+      return "max-id";
+    case Choice::First:
+      return "first";
+    case Choice::Successor:
+      return "successor";
+    case Choice::Random:
+      return "random";
+  }
+  return "?";
+}
+
+SmmProtocol::SmmProtocol(Choice propose, Choice accept)
+    : propose_(propose), accept_(accept) {
+  name_ = "smm(propose=";
+  name_ += toString(propose);
+  name_ += ",accept=";
+  name_ += toString(accept);
+  name_ += ")";
+}
+
+std::optional<PointerState> SmmProtocol::onRound(
+    const LocalView<PointerState>& view) const {
+  const PointerState& self = view.state();
+
+  if (self.isNull()) {
+    // Gather proposers (neighbors pointing at me) and null-pointer neighbors.
+    std::vector<std::size_t> proposers;
+    std::vector<std::size_t> nullNeighbors;
+    for (std::size_t k = 0; k < view.neighbors.size(); ++k) {
+      const NeighborRef<PointerState>& nbr = view.neighbors[k];
+      if (nbr.state->ptr == view.self) proposers.push_back(k);
+      if (nbr.state->isNull()) nullNeighbors.push_back(k);
+    }
+    if (!proposers.empty()) {
+      // R1 [accept a proposal].
+      const std::size_t j = select(accept_, view, proposers);
+      return PointerState{view.neighbors[j].vertex};
+    }
+    if (!nullNeighbors.empty()) {
+      // R2 [make a proposal].
+      const std::size_t j = select(propose_, view, nullNeighbors);
+      return PointerState{view.neighbors[j].vertex};
+    }
+    return std::nullopt;
+  }
+
+  // Pointer set: locate its target among current neighbors.
+  const NeighborRef<PointerState>* target = view.find(self.ptr);
+  if (target == nullptr) {
+    // Dangling pointer: the link vanished (mobility) or the state is
+    // corrupt. The paper's rules implicitly assume p(i) ∈ N(i) ∪ {Λ}; the
+    // self-stabilizing reading of R3 is that a target we cannot observe is
+    // certainly not pointing back, so back off.
+    return PointerState{};
+  }
+  const PointerState& targetState = *target->state;
+  if (!targetState.isNull() && targetState.ptr != view.self) {
+    // R3 [back off]: i -> j, j -> k, k ∉ {Λ, i}.
+    return PointerState{};
+  }
+  // Either matched (j -> i) or waiting on an aloof target (j -> Λ): stable.
+  return std::nullopt;
+}
+
+}  // namespace selfstab::core

@@ -1,0 +1,80 @@
+// Algorithm SMM — Synchronous Maximal Matching (paper, Figure 1) — and its
+// relatives.
+//
+//   R1 [accept]  : p(i)=Λ ∧ ∃j∈N(i): p(j)=i            ⇒ p(i) := j
+//   R2 [propose] : p(i)=Λ ∧ ∀k∈N(i): p(k)≠i
+//                         ∧ ∃j∈N(i): p(j)=Λ            ⇒ p(i) := min such j
+//   R3 [back-off]: p(i)=j ∧ p(j)=k, k∉{Λ,i}            ⇒ p(i) := Λ
+//
+// The minimum-ID selection in R2 is what makes the synchronous protocol
+// stabilize (Theorem 1: at most n+1 rounds); with an arbitrary selection the
+// protocol can oscillate forever (Section 3 closing remark, reproduced by
+// bench/exp_counterexample). Hsu & Huang's central-daemon algorithm [15] has
+// the same three rules with arbitrary selections, so it is expressed here as
+// a policy configuration of the same rule evaluator.
+#pragma once
+
+#include <string>
+
+#include "core/matching_state.hpp"
+#include "engine/protocol.hpp"
+
+namespace selfstab::core {
+
+/// How a node picks among several eligible neighbors in R1/R2.
+enum class Choice {
+  MinId,      ///< smallest ID — the paper's R2 requirement
+  MaxId,      ///< largest ID
+  First,      ///< first in adjacency (vertex) order — an "arbitrary" choice
+  Successor,  ///< prefer vertex (self+1) mod n when eligible, else MinId;
+              ///< realizes the paper's "clockwise" counterexample on cycles
+  Random      ///< fresh uniform pick every round (keyed on roundKey, selfId)
+};
+
+[[nodiscard]] std::string_view toString(Choice choice) noexcept;
+
+/// The SMM rule evaluator, parameterized by selection policies.
+class SmmProtocol final : public engine::Protocol<PointerState> {
+ public:
+  /// `propose` governs R2 (the paper mandates MinId; anything else yields the
+  /// possibly-non-stabilizing variant). `accept` governs R1, where the paper
+  /// allows any choice ("i may select a node j ... among those pointing to
+  /// it"); the proofs are independent of it.
+  explicit SmmProtocol(Choice propose = Choice::MinId,
+                       Choice accept = Choice::MinId);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  [[nodiscard]] std::optional<PointerState> onRound(
+      const engine::LocalView<PointerState>& view) const override;
+
+  [[nodiscard]] PointerState initialState(graph::Vertex) const override {
+    return PointerState{};  // all pointers null
+  }
+
+  [[nodiscard]] Choice proposePolicy() const noexcept { return propose_; }
+  [[nodiscard]] Choice acceptPolicy() const noexcept { return accept_; }
+
+ private:
+  Choice propose_;
+  Choice accept_;
+  std::string name_;
+};
+
+/// The paper's Algorithm SMM (Figure 1): min-ID proposals.
+[[nodiscard]] inline SmmProtocol smmPaper() {
+  return SmmProtocol(Choice::MinId, Choice::MinId);
+}
+
+/// The broken variant of the Section 3 remark: arbitrary-choice R2.
+[[nodiscard]] inline SmmProtocol smmArbitrary(Choice propose = Choice::Successor) {
+  return SmmProtocol(propose, Choice::First);
+}
+
+/// Hsu–Huang [15]: identical rules, arbitrary (adjacency-order) selections,
+/// intended for execution under a central daemon.
+[[nodiscard]] inline SmmProtocol hsuHuang() {
+  return SmmProtocol(Choice::First, Choice::First);
+}
+
+}  // namespace selfstab::core

@@ -1,0 +1,83 @@
+// Non-stabilization certificates.
+//
+// A deterministic protocol under the synchronous model induces a function on
+// global configurations, so every trajectory is eventually periodic. If we
+// revisit a configuration before reaching a fixpoint, the protocol provably
+// never stabilizes from that start. This is how we reproduce the Section 3
+// counterexample: SMM with an arbitrary-choice R2 cycles forever on C4.
+//
+// Only meaningful for protocols that ignore LocalView::roundKey (i.e. are
+// deterministic functions of the configuration); callers assert that.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/sync_runner.hpp"
+#include "graph/rng.hpp"
+
+namespace selfstab::engine {
+
+struct TrajectoryResult {
+  bool stabilized = false;   ///< reached a fixpoint
+  bool cycled = false;       ///< revisited a configuration (period >= 1 would
+                             ///< be a fixpoint, so cycled implies period >= 2)
+  std::size_t rounds = 0;    ///< rounds until fixpoint / cycle closes / budget
+  std::size_t cycleStart = 0;   ///< first round of the repeated configuration
+  std::size_t cycleLength = 0;  ///< period, when cycled
+};
+
+/// Runs the protocol from `states`, recording every configuration, until a
+/// fixpoint, a repeated configuration, or maxRounds.
+///
+/// State must be equality-comparable and provide an ADL-findable
+/// `std::uint64_t hashValue(const State&)`.
+template <typename State>
+TrajectoryResult traceTrajectory(const Protocol<State>& protocol,
+                                 const graph::Graph& g,
+                                 const graph::IdAssignment& ids,
+                                 std::vector<State> states,
+                                 std::size_t maxRounds) {
+  SyncRunner<State> runner(protocol, g, ids, /*runSeed=*/0);
+
+  const auto hashConfig = [](const std::vector<State>& config) {
+    std::uint64_t h = 0x243f6a8885a308d3ULL;
+    for (const State& s : config) h = hashCombine(h, hashValue(s));
+    return h;
+  };
+
+  std::vector<std::vector<State>> history;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> seenAt;
+
+  TrajectoryResult result;
+  for (std::size_t r = 0; r <= maxRounds; ++r) {
+    // Check against history (guarding against hash collisions).
+    const std::uint64_t h = hashConfig(states);
+    if (auto it = seenAt.find(h); it != seenAt.end()) {
+      for (const std::size_t earlier : it->second) {
+        if (history[earlier] == states) {
+          result.cycled = true;
+          result.cycleStart = earlier;
+          result.cycleLength = r - earlier;
+          result.rounds = r;
+          return result;
+        }
+      }
+    }
+    seenAt[h].push_back(history.size());
+    history.push_back(states);
+
+    if (r == maxRounds) break;
+    const std::size_t moves = runner.step(states);
+    if (moves == 0) {
+      result.stabilized = true;
+      result.rounds = r;
+      return result;
+    }
+  }
+  result.rounds = maxRounds;
+  return result;
+}
+
+}  // namespace selfstab::engine

@@ -1,0 +1,215 @@
+// Classical daemon schedulers.
+//
+// Self-stabilizing algorithms are traditionally analyzed under an adversarial
+// daemon that picks which privileged node(s) move (the paper contrasts its
+// beacon-round model with exactly this "adversary daemon" paradigm, and its
+// baseline [15] — Hsu & Huang's matching algorithm — assumes a *central*
+// daemon). These executors let us run such baselines and measure moves.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "engine/protocol.hpp"
+#include "engine/view_builder.hpp"
+#include "graph/rng.hpp"
+
+namespace selfstab::engine {
+
+/// How the central daemon picks among privileged nodes.
+enum class CentralPolicy {
+  Random,      ///< uniformly random privileged node
+  MinId,       ///< smallest-ID privileged node
+  MaxId,       ///< largest-ID privileged node
+  RoundRobin,  ///< weakly fair rotation over vertices
+  Adversarial  ///< greedy: the move minimizing a caller-supplied potential
+};
+
+struct DaemonResult {
+  std::size_t moves = 0;    ///< individual rule executions
+  bool stabilized = false;  ///< no node privileged at the end
+};
+
+/// Serial (central daemon) execution: one privileged node moves at a time,
+/// reading live states.
+template <typename State>
+class CentralDaemonRunner {
+ public:
+  /// Potential function for the adversarial policy; the adversary picks the
+  /// enabled move whose successor configuration has the *lowest* potential,
+  /// i.e. maximum potential = most progress, adversary stalls it.
+  using Potential = std::function<double(const std::vector<State>&)>;
+
+  CentralDaemonRunner(const Protocol<State>& protocol, const graph::Graph& g,
+                      const graph::IdAssignment& ids, CentralPolicy policy,
+                      std::uint64_t seed = 0)
+      : protocol_(&protocol),
+        builder_(g, ids),
+        policy_(policy),
+        rng_(seed) {}
+
+  void setPotential(Potential potential) { potential_ = std::move(potential); }
+
+  /// Executes one daemon step (one move). Returns false at a fixpoint.
+  bool step(std::vector<State>& states) {
+    std::vector<graph::Vertex> enabled;
+    std::vector<State> nextStates;
+    for (graph::Vertex v = 0; v < states.size(); ++v) {
+      if (auto next = protocol_->onRound(builder_.build(v, states))) {
+        enabled.push_back(v);
+        nextStates.push_back(std::move(*next));
+      }
+    }
+    if (enabled.empty()) return false;
+
+    const std::size_t pick = choose(enabled, nextStates, states);
+    states[enabled[pick]] = nextStates[pick];
+    return true;
+  }
+
+  /// Runs until fixpoint or maxMoves.
+  DaemonResult run(std::vector<State>& states, std::size_t maxMoves) {
+    DaemonResult result;
+    while (result.moves < maxMoves) {
+      if (!step(states)) {
+        result.stabilized = true;
+        return result;
+      }
+      ++result.moves;
+    }
+    // Check whether we stopped exactly on a fixpoint.
+    result.stabilized = true;
+    for (graph::Vertex v = 0; v < states.size(); ++v) {
+      if (isEnabled(*protocol_, builder_.build(v, states))) {
+        result.stabilized = false;
+        break;
+      }
+    }
+    return result;
+  }
+
+ private:
+  std::size_t choose(const std::vector<graph::Vertex>& enabled,
+                     const std::vector<State>& nextStates,
+                     const std::vector<State>& states) {
+    switch (policy_) {
+      case CentralPolicy::Random:
+        return static_cast<std::size_t>(rng_.below(enabled.size()));
+      case CentralPolicy::MinId: {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < enabled.size(); ++i) {
+          if (builder_.ids().less(enabled[i], enabled[best])) best = i;
+        }
+        return best;
+      }
+      case CentralPolicy::MaxId: {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < enabled.size(); ++i) {
+          if (builder_.ids().less(enabled[best], enabled[i])) best = i;
+        }
+        return best;
+      }
+      case CentralPolicy::RoundRobin: {
+        // First enabled vertex at or after the rotation cursor.
+        for (std::size_t i = 0; i < enabled.size(); ++i) {
+          if (enabled[i] >= cursor_) {
+            cursor_ = enabled[i] + 1;
+            return i;
+          }
+        }
+        cursor_ = enabled.front() + 1;
+        return 0;
+      }
+      case CentralPolicy::Adversarial: {
+        assert(potential_ && "Adversarial policy needs a potential function");
+        double bestValue = std::numeric_limits<double>::infinity();
+        std::size_t best = 0;
+        std::vector<State> scratch = states;
+        for (std::size_t i = 0; i < enabled.size(); ++i) {
+          scratch[enabled[i]] = nextStates[i];
+          const double value = potential_(scratch);
+          scratch[enabled[i]] = states[enabled[i]];
+          if (value < bestValue) {
+            bestValue = value;
+            best = i;
+          }
+        }
+        return best;
+      }
+    }
+    return 0;
+  }
+
+  const Protocol<State>* protocol_;
+  ViewBuilder<State> builder_;
+  CentralPolicy policy_;
+  Rng rng_;
+  Potential potential_;
+  graph::Vertex cursor_ = 0;
+};
+
+/// Distributed daemon: at each step an arbitrary non-empty subset of the
+/// privileged nodes moves simultaneously on a snapshot of the current
+/// configuration. We model the adversary's choice as an independent coin per
+/// privileged node (forcing at least one mover to keep the daemon live).
+template <typename State>
+class DistributedDaemonRunner {
+ public:
+  DistributedDaemonRunner(const Protocol<State>& protocol,
+                          const graph::Graph& g,
+                          const graph::IdAssignment& ids,
+                          double moveProbability, std::uint64_t seed = 0)
+      : protocol_(&protocol),
+        builder_(g, ids),
+        moveProbability_(moveProbability),
+        rng_(seed) {}
+
+  /// One distributed step. Returns the number of nodes that moved
+  /// (0 only at a fixpoint).
+  std::size_t step(std::vector<State>& states) {
+    std::vector<graph::Vertex> enabled;
+    std::vector<State> nextStates;
+    for (graph::Vertex v = 0; v < states.size(); ++v) {
+      if (auto next = protocol_->onRound(builder_.build(v, states))) {
+        enabled.push_back(v);
+        nextStates.push_back(std::move(*next));
+      }
+    }
+    if (enabled.empty()) return 0;
+
+    std::vector<std::size_t> chosen;
+    for (std::size_t i = 0; i < enabled.size(); ++i) {
+      if (rng_.chance(moveProbability_)) chosen.push_back(i);
+    }
+    if (chosen.empty()) {
+      chosen.push_back(static_cast<std::size_t>(rng_.below(enabled.size())));
+    }
+    for (const std::size_t i : chosen) states[enabled[i]] = nextStates[i];
+    return chosen.size();
+  }
+
+  DaemonResult run(std::vector<State>& states, std::size_t maxSteps) {
+    DaemonResult result;
+    for (std::size_t s = 0; s < maxSteps; ++s) {
+      const std::size_t moved = step(states);
+      if (moved == 0) {
+        result.stabilized = true;
+        return result;
+      }
+      result.moves += moved;
+    }
+    return result;
+  }
+
+ private:
+  const Protocol<State>* protocol_;
+  ViewBuilder<State> builder_;
+  double moveProbability_;
+  Rng rng_;
+};
+
+}  // namespace selfstab::engine

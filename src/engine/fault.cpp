@@ -1,0 +1,26 @@
+#include "engine/fault.hpp"
+
+#include "graph/algorithms.hpp"
+
+namespace selfstab::engine {
+
+std::size_t perturbTopology(graph::Graph& g, Rng& rng, std::size_t count,
+                            bool keepConnected) {
+  const std::size_t n = g.order();
+  if (n < 2) return 0;
+  std::size_t applied = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto u = static_cast<graph::Vertex>(rng.below(n));
+    auto v = static_cast<graph::Vertex>(rng.below(n - 1));
+    if (v >= u) ++v;
+    const bool nowPresent = g.toggleEdge(u, v);
+    if (!nowPresent && keepConnected && !graph::isConnected(g)) {
+      g.addEdge(u, v);  // roll back the disconnecting removal
+      continue;
+    }
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace selfstab::engine

@@ -1,0 +1,171 @@
+// Multithreaded synchronous round executor.
+//
+// The synchronous model is embarrassingly parallel within a round: every
+// node's rule reads only the immutable snapshot S_t and writes only its own
+// slot of S_{t+1}. ParallelSyncRunner exploits that with a persistent worker
+// pool and static vertex partitioning, producing *bit-identical*
+// trajectories to SyncRunner (same snapshot, same rules, no scheduling
+// freedom) — the tests assert exact agreement. Intended for simulating
+// large networks; on small n the barrier overhead dominates and the serial
+// runner wins.
+//
+// Protocols must be thread-compatible: onRound() is logically const and may
+// be invoked concurrently for different vertices. Protocols with mutable
+// scratch buffers (LeaderTreeProtocol, AggregationProtocol) are NOT safe
+// here; the runner cannot detect that, so callers choose. All protocols in
+// core/ except those two are stateless evaluators.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "engine/protocol.hpp"
+#include "engine/sync_runner.hpp"
+#include "engine/view_builder.hpp"
+
+namespace selfstab::engine {
+
+template <typename State>
+class ParallelSyncRunner {
+ public:
+  ParallelSyncRunner(const Protocol<State>& protocol, const graph::Graph& g,
+                     const graph::IdAssignment& ids, std::size_t threads,
+                     std::uint64_t runSeed = 0)
+      : protocol_(&protocol),
+        g_(&g),
+        ids_(&ids),
+        runSeed_(runSeed),
+        threadCount_(threads == 0 ? 1 : threads) {
+    workers_.reserve(threadCount_);
+    for (std::size_t t = 0; t < threadCount_; ++t) {
+      workers_.emplace_back([this, t] { workerLoop(t); });
+    }
+  }
+
+  ParallelSyncRunner(const ParallelSyncRunner&) = delete;
+  ParallelSyncRunner& operator=(const ParallelSyncRunner&) = delete;
+
+  ~ParallelSyncRunner() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+      ++generation_;
+    }
+    wake_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  /// One synchronous round; identical semantics to SyncRunner::step.
+  std::size_t step(std::vector<State>& states) {
+    snapshot_ = states;
+    target_ = &states;
+    roundKey_ = hashCombine(runSeed_, round_);
+    moves_.store(0, std::memory_order_relaxed);
+    pending_.store(threadCount_, std::memory_order_release);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++generation_;
+    }
+    wake_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_.wait(lock, [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+      });
+    }
+    ++round_;
+    return moves_.load(std::memory_order_relaxed);
+  }
+
+  /// Runs until fixpoint or maxRounds; same contract as SyncRunner::run
+  /// (fixpoint = zero moves and every node isStable).
+  RunResult run(std::vector<State>& states, std::size_t maxRounds) {
+    RunResult result;
+    while (result.rounds < maxRounds) {
+      const std::size_t moves = step(states);
+      if (moves == 0 && isFixpoint(states)) {
+        result.stabilized = true;
+        return result;
+      }
+      ++result.rounds;
+      result.totalMoves += moves;
+    }
+    result.stabilized = isFixpoint(states);
+    return result;
+  }
+
+  [[nodiscard]] bool isFixpoint(const std::vector<State>& states) {
+    ViewBuilder<State> builder(*g_, *ids_);
+    const std::uint64_t key = hashCombine(runSeed_, round_);
+    for (graph::Vertex v = 0; v < states.size(); ++v) {
+      if (!protocol_->isStable(builder.build(v, states, key))) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t threadCount() const noexcept {
+    return threadCount_;
+  }
+
+ private:
+  void workerLoop(std::size_t index) {
+    ViewBuilder<State> builder(*g_, *ids_);
+    std::uint64_t seenGeneration = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] {
+          return shutdown_ || generation_ != seenGeneration;
+        });
+        if (shutdown_) return;
+        seenGeneration = generation_;
+      }
+      // Static block partition of the vertex range.
+      const std::size_t n = snapshot_.size();
+      const std::size_t chunk = (n + threadCount_ - 1) / threadCount_;
+      const std::size_t begin = index * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      std::size_t localMoves = 0;
+      for (std::size_t v = begin; v < end; ++v) {
+        const auto view =
+            builder.build(static_cast<graph::Vertex>(v), snapshot_, roundKey_);
+        if (auto next = protocol_->onRound(view)) {
+          (*target_)[v] = std::move(*next);
+          ++localMoves;
+        }
+      }
+      moves_.fetch_add(localMoves, std::memory_order_relaxed);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        done_.notify_one();
+      }
+    }
+  }
+
+  const Protocol<State>* protocol_;
+  const graph::Graph* g_;
+  const graph::IdAssignment* ids_;
+  std::uint64_t runSeed_;
+  std::size_t threadCount_;
+  std::size_t round_ = 0;
+
+  std::vector<State> snapshot_;
+  std::vector<State>* target_ = nullptr;
+  std::uint64_t roundKey_ = 0;
+  std::atomic<std::size_t> moves_{0};
+  std::atomic<std::size_t> pending_{0};
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace selfstab::engine

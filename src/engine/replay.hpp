@@ -1,0 +1,89 @@
+// Schedule recording and replay.
+//
+// Under the synchronous model the trajectory is fully determined by the
+// initial configuration (for deterministic protocols), but debugging a
+// randomized wrapper or comparing executors benefits from an explicit
+// record of *who moved when*. recordRun captures the per-round mover sets;
+// replaySchedule re-executes them move-for-move — applying a recorded
+// round's moves to the current snapshot regardless of what the protocol
+// would choose to schedule — so a failing trajectory can be replayed,
+// truncated, or inspected round by round.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "engine/sync_runner.hpp"
+
+namespace selfstab::engine {
+
+/// Per-round mover sets: schedule[r] lists the vertices that moved in
+/// round r, in increasing vertex order.
+using Schedule = std::vector<std::vector<graph::Vertex>>;
+
+template <typename State>
+struct RecordedRun {
+  RunResult result;
+  Schedule schedule;
+  std::vector<State> initialStates;
+};
+
+/// Runs `protocol` from `states` (mutated in place) recording the mover
+/// set of every executed round.
+template <typename State>
+RecordedRun<State> recordRun(const Protocol<State>& protocol,
+                             const graph::Graph& g,
+                             const graph::IdAssignment& ids,
+                             std::vector<State>& states,
+                             std::size_t maxRounds,
+                             std::uint64_t runSeed = 0) {
+  RecordedRun<State> recording;
+  recording.initialStates = states;
+  SyncRunner<State> runner(protocol, g, ids, runSeed);
+  recording.result = runner.run(
+      states, maxRounds,
+      [&](std::size_t, const std::vector<State>& before,
+          const std::vector<State>& after, std::size_t) {
+        std::vector<graph::Vertex> movers;
+        for (graph::Vertex v = 0; v < before.size(); ++v) {
+          if (!(before[v] == after[v])) movers.push_back(v);
+        }
+        recording.schedule.push_back(std::move(movers));
+      });
+  // Drop the trailing all-quiet verification round, if any.
+  while (!recording.schedule.empty() && recording.schedule.back().empty()) {
+    recording.schedule.pop_back();
+  }
+  return recording;
+}
+
+/// Replays `schedule` from `states`: in each round, exactly the recorded
+/// movers apply their rule against the round's snapshot (vertices whose
+/// rule is not enabled at replay time are skipped — a diagnostic signal
+/// that the replayed context diverged). Returns the number of moves
+/// applied. roundKeys are re-derived from `runSeed` just like the original
+/// run, so replaying with the original seed reproduces randomized wrappers
+/// exactly.
+template <typename State>
+std::size_t replaySchedule(const Protocol<State>& protocol,
+                           const graph::Graph& g,
+                           const graph::IdAssignment& ids,
+                           std::vector<State>& states,
+                           const Schedule& schedule,
+                           std::uint64_t runSeed = 0) {
+  ViewBuilder<State> builder(g, ids);
+  std::size_t applied = 0;
+  for (std::size_t r = 0; r < schedule.size(); ++r) {
+    const std::uint64_t key = hashCombine(runSeed, r);
+    const std::vector<State> snapshot = states;
+    for (const graph::Vertex v : schedule[r]) {
+      if (auto next = protocol.onRound(builder.build(v, snapshot, key))) {
+        states[v] = std::move(*next);
+        ++applied;
+      }
+    }
+  }
+  return applied;
+}
+
+}  // namespace selfstab::engine

@@ -1,0 +1,157 @@
+// The paper's execution model: synchronous rounds.
+//
+// Section 2 defines a round as "a period of time in which each node in the
+// system receives beacon messages from all its neighbors"; a node then
+// evaluates its rules on that consistent snapshot and all privileged nodes
+// move simultaneously. SyncRunner implements exactly that semantics: one
+// snapshot per round, every enabled node moves.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "engine/protocol.hpp"
+#include "engine/view_builder.hpp"
+#include "graph/rng.hpp"
+
+namespace selfstab::engine {
+
+/// Outcome of a bounded run.
+struct RunResult {
+  std::size_t rounds = 0;      ///< rounds executed (not counting the final
+                               ///< all-quiet verification round)
+  std::size_t totalMoves = 0;  ///< sum of per-round move counts
+  bool stabilized = false;     ///< reached a global fixpoint within budget
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
+};
+
+template <typename State>
+class SyncRunner {
+ public:
+  /// Observer invoked after every executed round with (roundIndex,
+  /// statesBefore, statesAfter, movesThisRound). roundIndex is 0-based: the
+  /// transition S_t -> S_{t+1} of the paper reports index t.
+  using Observer = std::function<void(std::size_t, const std::vector<State>&,
+                                      const std::vector<State>&, std::size_t)>;
+
+  SyncRunner(const Protocol<State>& protocol, const graph::Graph& g,
+             const graph::IdAssignment& ids, std::uint64_t runSeed = 0)
+      : protocol_(&protocol), builder_(g, ids), runSeed_(runSeed) {
+    assert(ids.order() == g.order());
+  }
+
+  /// The protocol's canonical clean start.
+  [[nodiscard]] std::vector<State> initialStates() const {
+    const auto n = builder_.graphRef().order();
+    std::vector<State> states;
+    states.reserve(n);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      states.push_back(protocol_->initialState(v));
+    }
+    return states;
+  }
+
+  /// Executes one synchronous round in place; returns the number of moves.
+  std::size_t step(std::vector<State>& states) {
+    assert(states.size() == builder_.graphRef().order());
+    const std::uint64_t key = roundKey(round_);
+    snapshot_ = states;
+    std::size_t moves = 0;
+    for (graph::Vertex v = 0; v < snapshot_.size(); ++v) {
+      const LocalView<State> view = builder_.build(v, snapshot_, key);
+      if (auto next = protocol_->onRound(view)) {
+        assert(!(*next == snapshot_[v]) &&
+               "a move must change the node's state");
+        states[v] = std::move(*next);
+        ++moves;
+      }
+    }
+    ++round_;
+    return moves;
+  }
+
+  /// Runs until a fixpoint or until maxRounds rounds have executed. The
+  /// final zero-move verification round is not counted in
+  /// RunResult::rounds, matching the paper's convention that "stabilizes in
+  /// k rounds" means S_k is stable. For randomized wrappers
+  /// (core::Synchronized), a zero-move round in which some node still has
+  /// an enabled rule — everyone lost its neighborhood lottery — is *not* a
+  /// fixpoint; it counts as a round of scheduling delay and the run
+  /// continues.
+  RunResult run(std::vector<State>& states, std::size_t maxRounds,
+                const Observer& observer = nullptr) {
+    RunResult result;
+    while (result.rounds < maxRounds) {
+      const std::size_t before = round_;
+      std::vector<State> prev;
+      if (observer) prev = states;
+      const std::size_t moves = step(states);
+      if (observer) observer(before, prev, states, moves);
+      if (moves == 0 && isFixpoint(states)) {
+        result.stabilized = true;
+        return result;
+      }
+      ++result.rounds;
+      result.totalMoves += moves;
+    }
+    // Budget exhausted; check whether we happen to sit on a fixpoint.
+    result.stabilized = isFixpoint(states);
+    return result;
+  }
+
+  /// True if no node has an enabled rule in `states` (modulo scheduling —
+  /// see Protocol::isStable).
+  [[nodiscard]] bool isFixpoint(const std::vector<State>& states) {
+    const std::uint64_t key = roundKey(round_);
+    for (graph::Vertex v = 0; v < states.size(); ++v) {
+      if (!protocol_->isStable(builder_.build(v, states, key))) return false;
+    }
+    return true;
+  }
+
+  /// Vertices privileged in `states` (diagnostics and daemon baselines).
+  [[nodiscard]] std::vector<graph::Vertex> enabledVertices(
+      const std::vector<State>& states) {
+    const std::uint64_t key = roundKey(round_);
+    std::vector<graph::Vertex> enabled;
+    for (graph::Vertex v = 0; v < states.size(); ++v) {
+      if (isEnabled(*protocol_, builder_.build(v, states, key))) {
+        enabled.push_back(v);
+      }
+    }
+    return enabled;
+  }
+
+  [[nodiscard]] std::size_t round() const noexcept { return round_; }
+
+  /// Per-round entropy shared by all nodes: hash of (runSeed, round).
+  [[nodiscard]] std::uint64_t roundKey(std::size_t r) const noexcept {
+    return hashCombine(runSeed_, r);
+  }
+
+ private:
+  const Protocol<State>* protocol_;
+  ViewBuilder<State> builder_;
+  std::uint64_t runSeed_;
+  std::size_t round_ = 0;
+  std::vector<State> snapshot_;
+};
+
+/// Convenience: clean start, run to fixpoint.
+template <typename State>
+RunResult runFromClean(const Protocol<State>& protocol, const graph::Graph& g,
+                       const graph::IdAssignment& ids, std::size_t maxRounds,
+                       std::vector<State>* finalStates = nullptr,
+                       std::uint64_t runSeed = 0) {
+  SyncRunner<State> runner(protocol, g, ids, runSeed);
+  std::vector<State> states = runner.initialStates();
+  const RunResult result = runner.run(states, maxRounds);
+  if (finalStates != nullptr) *finalStates = std::move(states);
+  return result;
+}
+
+}  // namespace selfstab::engine

@@ -1,0 +1,46 @@
+// Shared helper for constructing LocalViews from a global state vector.
+#pragma once
+
+#include <vector>
+
+#include "engine/protocol.hpp"
+
+namespace selfstab::engine {
+
+/// Builds LocalViews against a (graph, id assignment, state vector) triple,
+/// reusing one neighbor buffer across calls. The returned view aliases both
+/// the builder's buffer and the state vector passed in, so it is valid only
+/// until the next build() call or state mutation.
+template <typename State>
+class ViewBuilder {
+ public:
+  ViewBuilder(const graph::Graph& g, const graph::IdAssignment& ids)
+      : g_(&g), ids_(&ids) {}
+
+  LocalView<State> build(graph::Vertex v, const std::vector<State>& states,
+                         std::uint64_t roundKey = 0) {
+    buffer_.clear();
+    for (const graph::Vertex w : g_->neighbors(v)) {
+      buffer_.push_back(NeighborRef<State>{w, ids_->idOf(w), &states[w]});
+    }
+    LocalView<State> view;
+    view.self = v;
+    view.selfId = ids_->idOf(v);
+    view.selfState = &states[v];
+    view.neighbors = buffer_;
+    view.roundKey = roundKey;
+    return view;
+  }
+
+  [[nodiscard]] const graph::Graph& graphRef() const noexcept { return *g_; }
+  [[nodiscard]] const graph::IdAssignment& ids() const noexcept {
+    return *ids_;
+  }
+
+ private:
+  const graph::Graph* g_;
+  const graph::IdAssignment* ids_;
+  std::vector<NeighborRef<State>> buffer_;
+};
+
+}  // namespace selfstab::engine

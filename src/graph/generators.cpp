@@ -1,0 +1,240 @@
+#include "graph/generators.hpp"
+
+#include <cassert>
+
+#include "graph/algorithms.hpp"
+
+namespace selfstab::graph {
+
+Graph path(std::size_t n) {
+  Graph g(n);
+  for (Vertex v = 0; v + 1 < n; ++v) g.addEdge(v, v + 1);
+  return g;
+}
+
+Graph cycle(std::size_t n) {
+  assert(n >= 3);
+  Graph g = path(n);
+  g.addEdge(static_cast<Vertex>(n - 1), 0);
+  return g;
+}
+
+Graph complete(std::size_t n) {
+  Graph g(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) g.addEdge(u, v);
+  }
+  return g;
+}
+
+Graph completeBipartite(std::size_t a, std::size_t b) {
+  Graph g(a + b);
+  for (Vertex u = 0; u < a; ++u) {
+    for (Vertex v = 0; v < b; ++v) {
+      g.addEdge(u, static_cast<Vertex>(a + v));
+    }
+  }
+  return g;
+}
+
+Graph star(std::size_t n) {
+  Graph g(n);
+  for (Vertex v = 1; v < n; ++v) g.addEdge(0, v);
+  return g;
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  const auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.addEdge(at(r, c), at(r, c + 1));
+      if (r + 1 < rows) g.addEdge(at(r, c), at(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph hypercube(std::size_t d) {
+  const std::size_t n = std::size_t{1} << d;
+  Graph g(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t bit = 0; bit < d; ++bit) {
+      const std::size_t v = u ^ (std::size_t{1} << bit);
+      if (u < v) g.addEdge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+    }
+  }
+  return g;
+}
+
+Graph binaryTree(std::size_t n) {
+  Graph g(n);
+  for (std::size_t v = 1; v < n; ++v) {
+    g.addEdge(static_cast<Vertex>((v - 1) / 2), static_cast<Vertex>(v));
+  }
+  return g;
+}
+
+Graph randomTree(std::size_t n, Rng& rng) {
+  Graph g(n);
+  for (Vertex v = 1; v < n; ++v) {
+    const auto parent = static_cast<Vertex>(rng.below(v));
+    g.addEdge(parent, v);
+  }
+  return g;
+}
+
+Graph caterpillar(std::size_t spine, std::size_t legsPerSpine) {
+  const std::size_t n = spine + spine * legsPerSpine;
+  Graph g(n);
+  for (Vertex v = 0; v + 1 < spine; ++v) g.addEdge(v, v + 1);
+  Vertex next = static_cast<Vertex>(spine);
+  for (Vertex s = 0; s < spine; ++s) {
+    for (std::size_t leg = 0; leg < legsPerSpine; ++leg) {
+      g.addEdge(s, next++);
+    }
+  }
+  return g;
+}
+
+Graph erdosRenyi(std::size_t n, double p, Rng& rng) {
+  Graph g(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      if (rng.chance(p)) g.addEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph connectedErdosRenyi(std::size_t n, double p, Rng& rng) {
+  Graph g = randomTree(n, rng);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      if (!g.hasEdge(u, v) && rng.chance(p)) g.addEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph wheel(std::size_t n) {
+  assert(n >= 4);
+  Graph g(n);
+  for (Vertex v = 1; v < n; ++v) {
+    g.addEdge(0, v);
+    g.addEdge(v, v + 1 < n ? v + 1 : 1);
+  }
+  return g;
+}
+
+Graph petersen() {
+  Graph g(10);
+  for (Vertex v = 0; v < 5; ++v) {
+    g.addEdge(v, (v + 1) % 5);                       // outer cycle
+    g.addEdge(static_cast<Vertex>(5 + v),
+              static_cast<Vertex>(5 + (v + 2) % 5)); // inner pentagram
+    g.addEdge(v, static_cast<Vertex>(5 + v));        // spokes
+  }
+  return g;
+}
+
+Graph barbell(std::size_t k, std::size_t bridge) {
+  assert(k >= 1);
+  const std::size_t n = 2 * k + bridge;
+  Graph g(n);
+  const auto clique = [&](Vertex base) {
+    for (Vertex u = 0; u < k; ++u) {
+      for (Vertex v = u + 1; v < k; ++v) {
+        g.addEdge(base + u, base + v);
+      }
+    }
+  };
+  clique(0);
+  clique(static_cast<Vertex>(k + bridge));
+  // Path from the last vertex of the left clique through the bridge to the
+  // first vertex of the right clique.
+  Vertex prev = static_cast<Vertex>(k - 1);
+  for (std::size_t i = 0; i < bridge; ++i) {
+    const auto next = static_cast<Vertex>(k + i);
+    g.addEdge(prev, next);
+    prev = next;
+  }
+  g.addEdge(prev, static_cast<Vertex>(k + bridge));
+  return g;
+}
+
+Graph lollipop(std::size_t k, std::size_t tail) {
+  assert(k >= 1);
+  Graph g(k + tail);
+  for (Vertex u = 0; u < k; ++u) {
+    for (Vertex v = u + 1; v < k; ++v) g.addEdge(u, v);
+  }
+  Vertex prev = static_cast<Vertex>(k - 1);
+  for (std::size_t i = 0; i < tail; ++i) {
+    const auto next = static_cast<Vertex>(k + i);
+    g.addEdge(prev, next);
+    prev = next;
+  }
+  return g;
+}
+
+Graph randomRegular(std::size_t n, std::size_t d, Rng& rng, int maxTries) {
+  assert(d < n && (n * d) % 2 == 0);
+  for (int attempt = 0; attempt < maxTries; ++attempt) {
+    // Pairing model: n*d half-edge stubs, shuffled and paired up.
+    std::vector<Vertex> stubs;
+    stubs.reserve(n * d);
+    for (Vertex v = 0; v < n; ++v) {
+      for (std::size_t i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    rng.shuffle(stubs);
+    Graph g(n);
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      if (stubs[i] == stubs[i + 1] || !g.addEdge(stubs[i], stubs[i + 1])) {
+        ok = false;  // self-loop or multi-edge: resample
+        break;
+      }
+    }
+    if (ok) return g;
+  }
+  // The pairing model succeeds with constant probability for modest d;
+  // exhausting maxTries indicates misuse.
+  assert(false && "randomRegular: retry budget exhausted");
+  return Graph(n);
+}
+
+Graph randomGeometric(std::size_t n, double radius, Rng& rng,
+                      std::vector<Point>* outPoints) {
+  std::vector<Point> points = randomPoints(n, rng);
+  Graph g = unitDiskGraph(points, radius);
+  if (outPoints != nullptr) *outPoints = std::move(points);
+  return g;
+}
+
+Graph connectedRandomGeometric(std::size_t n, double radius, Rng& rng,
+                               std::vector<Point>* outPoints, int maxTries) {
+  for (int attempt = 0; attempt < maxTries; ++attempt) {
+    std::vector<Point> points = randomPoints(n, rng);
+    Graph g = unitDiskGraph(points, radius);
+    if (isConnected(g)) {
+      if (outPoints != nullptr) *outPoints = std::move(points);
+      return g;
+    }
+  }
+  // Budget exhausted: keep the last sample's geometry but splice in a random
+  // spanning tree so the result is connected (the paper assumes coordinated
+  // movement keeps the network connected).
+  std::vector<Point> points = randomPoints(n, rng);
+  Graph g = unitDiskGraph(points, radius);
+  for (Vertex v = 1; v < n; ++v) {
+    const auto parent = static_cast<Vertex>(rng.below(v));
+    g.addEdge(parent, v);
+  }
+  if (outPoints != nullptr) *outPoints = std::move(points);
+  return g;
+}
+
+}  // namespace selfstab::graph

@@ -1,0 +1,25 @@
+#include "graph/geometry.hpp"
+
+namespace selfstab::graph {
+
+std::vector<Point> randomPoints(std::size_t n, Rng& rng) {
+  std::vector<Point> points(n);
+  for (auto& p : points) {
+    p.x = rng.real();
+    p.y = rng.real();
+  }
+  return points;
+}
+
+Graph unitDiskGraph(const std::vector<Point>& points, double radius) {
+  Graph g(points.size());
+  const double r2 = radius * radius;
+  for (Vertex u = 0; u < points.size(); ++u) {
+    for (Vertex v = u + 1; v < points.size(); ++v) {
+      if (squaredDistance(points[u], points[v]) <= r2) g.addEdge(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace selfstab::graph

@@ -1,0 +1,37 @@
+// Minimal 2-D geometry used by the unit-disk model and the mobility layer.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/rng.hpp"
+
+namespace selfstab::graph {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+constexpr double squaredDistance(const Point& a, const Point& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double distance(const Point& a, const Point& b) noexcept {
+  return std::sqrt(squaredDistance(a, b));
+}
+
+/// n points uniformly at random in the unit square.
+std::vector<Point> randomPoints(std::size_t n, Rng& rng);
+
+/// The unit-disk graph of the given points: {u,v} is an edge iff the two
+/// points are within `radius` of each other. This is the standard model of
+/// radio connectivity in an ad hoc network.
+Graph unitDiskGraph(const std::vector<Point>& points, double radius);
+
+}  // namespace selfstab::graph

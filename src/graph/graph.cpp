@@ -1,0 +1,89 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace selfstab::graph {
+
+namespace {
+
+// Inserts x into the sorted vector v if absent; returns true on insertion.
+bool sortedInsert(std::vector<Vertex>& v, Vertex x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) return false;
+  v.insert(it, x);
+  return true;
+}
+
+// Erases x from the sorted vector v if present; returns true on erasure.
+bool sortedErase(std::vector<Vertex>& v, Vertex x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) return false;
+  v.erase(it);
+  return true;
+}
+
+}  // namespace
+
+bool Graph::addEdge(Vertex u, Vertex v) {
+  assert(contains(u) && contains(v));
+  if (u == v) return false;
+  if (!sortedInsert(adj_[u], v)) return false;
+  sortedInsert(adj_[v], u);
+  ++edgeCount_;
+  return true;
+}
+
+bool Graph::removeEdge(Vertex u, Vertex v) {
+  assert(contains(u) && contains(v));
+  if (u == v) return false;
+  if (!sortedErase(adj_[u], v)) return false;
+  sortedErase(adj_[v], u);
+  --edgeCount_;
+  return true;
+}
+
+bool Graph::hasEdge(Vertex u, Vertex v) const noexcept {
+  if (!contains(u) || !contains(v) || u == v) return false;
+  const auto& nbrs = adj_[u];
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::size_t Graph::maxDegree() const noexcept {
+  std::size_t best = 0;
+  for (const auto& nbrs : adj_) best = std::max(best, nbrs.size());
+  return best;
+}
+
+std::size_t Graph::minDegree() const noexcept {
+  if (adj_.empty()) return 0;
+  std::size_t best = adj_[0].size();
+  for (const auto& nbrs : adj_) best = std::min(best, nbrs.size());
+  return best;
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> result;
+  result.reserve(edgeCount_);
+  for (Vertex u = 0; u < adj_.size(); ++u) {
+    for (const Vertex v : adj_[u]) {
+      if (u < v) result.push_back(Edge{u, v});
+    }
+  }
+  return result;
+}
+
+void Graph::clearEdges() {
+  for (auto& nbrs : adj_) nbrs.clear();
+  edgeCount_ = 0;
+}
+
+bool Graph::toggleEdge(Vertex u, Vertex v) {
+  if (hasEdge(u, v)) {
+    removeEdge(u, v);
+    return false;
+  }
+  return addEdge(u, v);
+}
+
+}  // namespace selfstab::graph

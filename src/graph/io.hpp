@@ -1,0 +1,33 @@
+// Graph serialization: whitespace edge lists, DIMACS, and Graphviz DOT.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace selfstab::graph {
+
+/// Thrown by the readers on malformed input.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes "n m" followed by one "u v" line per edge.
+void writeEdgeList(std::ostream& out, const Graph& g);
+
+/// Reads the format produced by writeEdgeList. Throws ParseError on
+/// malformed input (bad counts, out-of-range or duplicate edges, self-loops).
+Graph readEdgeList(std::istream& in);
+
+/// DIMACS format: "p edge n m" header, "e u v" lines with 1-based vertices.
+void writeDimacs(std::ostream& out, const Graph& g);
+Graph readDimacs(std::istream& in);
+
+/// Graphviz DOT (undirected), for eyeballing small experiment topologies.
+void writeDot(std::ostream& out, const Graph& g,
+              const std::string& name = "G");
+
+}  // namespace selfstab::graph

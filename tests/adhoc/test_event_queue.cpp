@@ -1,0 +1,64 @@
+#include "adhoc/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace selfstab::adhoc {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.schedule(30, 3);
+  q.schedule(10, 1);
+  q.schedule(20, 2);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue<std::string> q;
+  q.schedule(5, "first");
+  q.schedule(5, "second");
+  q.schedule(5, "third");
+  EXPECT_EQ(q.pop(), "first");
+  EXPECT_EQ(q.pop(), "second");
+  EXPECT_EQ(q.pop(), "third");
+}
+
+TEST(EventQueue, NowAdvancesWithPops) {
+  EventQueue<int> q;
+  EXPECT_EQ(q.now(), 0);
+  q.schedule(7, 1);
+  q.schedule(15, 2);
+  EXPECT_EQ(q.nextTime(), 7);
+  q.pop();
+  EXPECT_EQ(q.now(), 7);
+  q.pop();
+  EXPECT_EQ(q.now(), 15);
+}
+
+TEST(EventQueue, SchedulingWhileDrainingInterleaves) {
+  EventQueue<int> q;
+  q.schedule(10, 1);
+  EXPECT_EQ(q.pop(), 1);
+  q.schedule(12, 2);  // scheduled "from within" event 1
+  q.schedule(11, 3);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(EventQueue, SizeTracksContents) {
+  EventQueue<int> q;
+  EXPECT_EQ(q.size(), 0u);
+  q.schedule(1, 0);
+  q.schedule(2, 0);
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace selfstab::adhoc

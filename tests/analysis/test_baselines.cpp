@@ -1,0 +1,116 @@
+#include "analysis/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/verifiers.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::analysis {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+TEST(GreedyMatching, IsAlwaysMaximal) {
+  graph::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = graph::connectedErdosRenyi(25, 0.15, rng);
+    const auto matching = greedyMaximalMatching(g);
+    EXPECT_TRUE(isMaximalMatching(g, matching));
+  }
+}
+
+TEST(GreedyMatching, RespectsOrder) {
+  const Graph g = graph::path(3);
+  const std::vector<Vertex> fromRight{2, 1, 0};
+  const auto matching = greedyMaximalMatching(g, fromRight);
+  ASSERT_EQ(matching.size(), 1u);
+  EXPECT_EQ(matching[0], (graph::Edge{1, 2}));
+}
+
+TEST(GreedyMis, IsAlwaysMaximal) {
+  graph::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = graph::connectedErdosRenyi(25, 0.15, rng);
+    const auto mis = greedyMaximalIndependentSet(g);
+    EXPECT_TRUE(isMaximalIndependentSet(g, mis));
+  }
+}
+
+TEST(GreedyMis, RespectsOrder) {
+  const Graph g = graph::star(5);
+  const auto centerFirst =
+      greedyMaximalIndependentSet(g, std::vector<Vertex>{0, 1, 2, 3, 4});
+  EXPECT_EQ(centerFirst, std::vector<Vertex>{0});
+  const auto leavesFirst =
+      greedyMaximalIndependentSet(g, std::vector<Vertex>{1, 2, 3, 4, 0});
+  EXPECT_EQ(leavesFirst, (std::vector<Vertex>{1, 2, 3, 4}));
+}
+
+TEST(MaximumMatching, KnownValues) {
+  EXPECT_EQ(maximumMatchingSize(graph::path(2)), 1u);
+  EXPECT_EQ(maximumMatchingSize(graph::path(7)), 3u);
+  EXPECT_EQ(maximumMatchingSize(graph::cycle(8)), 4u);
+  EXPECT_EQ(maximumMatchingSize(graph::cycle(9)), 4u);
+  EXPECT_EQ(maximumMatchingSize(graph::complete(6)), 3u);
+  EXPECT_EQ(maximumMatchingSize(graph::complete(7)), 3u);
+  EXPECT_EQ(maximumMatchingSize(graph::star(9)), 1u);
+  EXPECT_EQ(maximumMatchingSize(graph::completeBipartite(3, 5)), 3u);
+  EXPECT_EQ(maximumMatchingSize(Graph(5)), 0u);
+}
+
+TEST(MaximumMatching, GreedyIsAtLeastHalf) {
+  graph::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::connectedErdosRenyi(14, 0.25, rng);
+    const std::size_t greedy = greedyMaximalMatching(g).size();
+    const std::size_t optimum = maximumMatchingSize(g);
+    EXPECT_GE(2 * greedy, optimum);
+    EXPECT_LE(greedy, optimum);
+  }
+}
+
+TEST(MaximumIndependentSet, KnownValues) {
+  EXPECT_EQ(maximumIndependentSetSize(graph::path(7)), 4u);
+  EXPECT_EQ(maximumIndependentSetSize(graph::cycle(8)), 4u);
+  EXPECT_EQ(maximumIndependentSetSize(graph::cycle(9)), 4u);
+  EXPECT_EQ(maximumIndependentSetSize(graph::complete(9)), 1u);
+  EXPECT_EQ(maximumIndependentSetSize(graph::star(9)), 8u);
+  EXPECT_EQ(maximumIndependentSetSize(graph::completeBipartite(4, 6)), 6u);
+  EXPECT_EQ(maximumIndependentSetSize(graph::hypercube(3)), 4u);
+  EXPECT_EQ(maximumIndependentSetSize(Graph(5)), 5u);
+}
+
+TEST(MaximumIndependentSet, GreedyIsNeverLarger) {
+  graph::Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::connectedErdosRenyi(30, 0.15, rng);
+    EXPECT_LE(greedyMaximalIndependentSet(g).size(),
+              maximumIndependentSetSize(g));
+  }
+}
+
+TEST(MinimumDominatingSet, KnownValues) {
+  EXPECT_EQ(minimumDominatingSetSize(graph::star(9)), 1u);
+  EXPECT_EQ(minimumDominatingSetSize(graph::complete(7)), 1u);
+  EXPECT_EQ(minimumDominatingSetSize(graph::path(3)), 1u);
+  EXPECT_EQ(minimumDominatingSetSize(graph::path(6)), 2u);
+  EXPECT_EQ(minimumDominatingSetSize(graph::path(7)), 3u);
+  EXPECT_EQ(minimumDominatingSetSize(graph::cycle(9)), 3u);
+  EXPECT_EQ(minimumDominatingSetSize(graph::cycle(10)), 4u);
+  EXPECT_EQ(minimumDominatingSetSize(Graph(4)), 4u);
+}
+
+TEST(MinimumDominatingSet, MisSizeIsAnUpperBoundWitness) {
+  // Any maximal independent set dominates, so the optimum is at most the
+  // greedy MIS size.
+  graph::Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::connectedErdosRenyi(20, 0.2, rng);
+    EXPECT_LE(minimumDominatingSetSize(g),
+              greedyMaximalIndependentSet(g).size());
+  }
+}
+
+}  // namespace
+}  // namespace selfstab::analysis

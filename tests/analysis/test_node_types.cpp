@@ -1,0 +1,91 @@
+// Node-type classification (paper Figure 2).
+#include "analysis/node_types.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace selfstab::analysis {
+namespace {
+
+using core::PointerState;
+using graph::Graph;
+
+TEST(NodeTypes, AllSixTypesOnOnePath) {
+  // Path 0-1-2-3-4-5-6:
+  //   2 <-> 3 matched; 1 -> 2 gives PM; 0 -> 1 gives PP;
+  //   5 -> 4 gives PA (4 aloof), 4 is A1 (pointed at), 6 is A0.
+  const Graph g = graph::path(7);
+  std::vector<PointerState> states(7);
+  states[2].ptr = 3;
+  states[3].ptr = 2;
+  states[1].ptr = 2;
+  states[0].ptr = 1;
+  states[5].ptr = 4;
+  ASSERT_TRUE(isTypeCorrect(g, states));
+  const auto types = classifyNodes(g, states);
+  EXPECT_EQ(types[0], NodeType::PP);
+  EXPECT_EQ(types[1], NodeType::PM);
+  EXPECT_EQ(types[2], NodeType::M);
+  EXPECT_EQ(types[3], NodeType::M);
+  EXPECT_EQ(types[4], NodeType::A1);
+  EXPECT_EQ(types[5], NodeType::PA);
+  EXPECT_EQ(types[6], NodeType::A0);
+}
+
+TEST(NodeTypes, AllNullIsAllA0) {
+  const Graph g = graph::cycle(5);
+  const std::vector<PointerState> states(5);
+  const auto types = classifyNodes(g, states);
+  for (const NodeType t : types) EXPECT_EQ(t, NodeType::A0);
+}
+
+TEST(NodeTypes, TypeCountsPartitionTheVertices) {
+  const Graph g = graph::path(7);
+  std::vector<PointerState> states(7);
+  states[2].ptr = 3;
+  states[3].ptr = 2;
+  states[1].ptr = 2;
+  const auto counts = countTypes(classifyNodes(g, states));
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < kNodeTypeCount; ++i) total += counts.count[i];
+  EXPECT_EQ(total, 7u);
+  EXPECT_EQ(counts.of(NodeType::M), 2u);
+  EXPECT_EQ(counts.of(NodeType::PM), 1u);
+}
+
+TEST(NodeTypes, IsTypeCorrectRejectsDanglingPointer) {
+  const Graph g = graph::path(3);
+  std::vector<PointerState> states(3);
+  states[0].ptr = 2;  // not a neighbor on the path
+  EXPECT_FALSE(isTypeCorrect(g, states));
+}
+
+TEST(NodeTypes, IsTypeCorrectRejectsWrongSize) {
+  const Graph g = graph::path(3);
+  const std::vector<PointerState> states(2);
+  EXPECT_FALSE(isTypeCorrect(g, states));
+}
+
+TEST(NodeTypes, ToStringCoversAll) {
+  EXPECT_EQ(toString(NodeType::M), "M");
+  EXPECT_EQ(toString(NodeType::A0), "A0");
+  EXPECT_EQ(toString(NodeType::A1), "A1");
+  EXPECT_EQ(toString(NodeType::PA), "PA");
+  EXPECT_EQ(toString(NodeType::PM), "PM");
+  EXPECT_EQ(toString(NodeType::PP), "PP");
+}
+
+TEST(NodeTypes, MutualPointersAcrossTriangle) {
+  // Triangle: 0 -> 1, 1 -> 2, 2 -> 0: a rotating cycle, everyone PP.
+  const Graph g = graph::complete(3);
+  std::vector<PointerState> states(3);
+  states[0].ptr = 1;
+  states[1].ptr = 2;
+  states[2].ptr = 0;
+  const auto types = classifyNodes(g, states);
+  for (const NodeType t : types) EXPECT_EQ(t, NodeType::PP);
+}
+
+}  // namespace
+}  // namespace selfstab::analysis

@@ -1,0 +1,54 @@
+#include "analysis/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace selfstab::analysis {
+namespace {
+
+TEST(RoundTrace, EmptyTraceWritesHeaderOnly) {
+  RoundTrace trace({"round", "moves"});
+  std::ostringstream out;
+  trace.writeCsv(out);
+  EXPECT_EQ(out.str(), "round,moves\n");
+  EXPECT_EQ(trace.rowCount(), 0u);
+}
+
+TEST(RoundTrace, RowsRoundTrip) {
+  RoundTrace trace({"round", "moves", "size"});
+  trace.addRow({0, 5, 2});
+  trace.addRow({1, 3, 4});
+  trace.addRow({2, 0, 4});
+  EXPECT_EQ(trace.rowCount(), 3u);
+
+  std::ostringstream out;
+  trace.writeCsv(out);
+  EXPECT_EQ(out.str(),
+            "round,moves,size\n"
+            "0,5,2\n"
+            "1,3,4\n"
+            "2,0,4\n");
+}
+
+TEST(RoundTrace, ColumnExtraction) {
+  RoundTrace trace({"round", "value"});
+  trace.addRow({0, 1.5});
+  trace.addRow({1, 2.5});
+  const auto values = trace.column("value");
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], 1.5);
+  EXPECT_DOUBLE_EQ(values[1], 2.5);
+  EXPECT_TRUE(trace.column("missing").empty());
+}
+
+TEST(RoundTrace, NonIntegerValuesKeepFraction) {
+  RoundTrace trace({"x"});
+  trace.addRow({0.25});
+  std::ostringstream out;
+  trace.writeCsv(out);
+  EXPECT_EQ(out.str(), "x\n0.25\n");
+}
+
+}  // namespace
+}  // namespace selfstab::analysis

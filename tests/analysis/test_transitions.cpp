@@ -1,0 +1,129 @@
+// The Figure 3 transition diagram: legality matrix plus census bookkeeping.
+#include <gtest/gtest.h>
+
+#include "analysis/node_types.hpp"
+#include "core/smm.hpp"
+#include "engine/sync_runner.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::analysis {
+namespace {
+
+using core::PointerState;
+using graph::Graph;
+using graph::IdAssignment;
+
+TEST(TransitionLegality, MatchedIsAbsorbing) {
+  EXPECT_TRUE(isLegalTransition(NodeType::M, NodeType::M));
+  for (const NodeType to : {NodeType::A0, NodeType::A1, NodeType::PA,
+                            NodeType::PM, NodeType::PP}) {
+    EXPECT_FALSE(isLegalTransition(NodeType::M, to));
+  }
+}
+
+TEST(TransitionLegality, PmAndPpMustBackOffToA0) {
+  for (const NodeType from : {NodeType::PM, NodeType::PP}) {
+    EXPECT_TRUE(isLegalTransition(from, NodeType::A0));
+    for (const NodeType to : {NodeType::M, NodeType::A1, NodeType::PA,
+                              NodeType::PM, NodeType::PP}) {
+      EXPECT_FALSE(isLegalTransition(from, to));
+    }
+  }
+}
+
+TEST(TransitionLegality, PaReachesMatchedOrPm) {
+  EXPECT_TRUE(isLegalTransition(NodeType::PA, NodeType::M));
+  EXPECT_TRUE(isLegalTransition(NodeType::PA, NodeType::PM));
+  EXPECT_FALSE(isLegalTransition(NodeType::PA, NodeType::A0));
+  EXPECT_FALSE(isLegalTransition(NodeType::PA, NodeType::PP));
+  EXPECT_FALSE(isLegalTransition(NodeType::PA, NodeType::PA));
+  EXPECT_FALSE(isLegalTransition(NodeType::PA, NodeType::A1));
+}
+
+TEST(TransitionLegality, A1MustMatch) {
+  EXPECT_TRUE(isLegalTransition(NodeType::A1, NodeType::M));
+  for (const NodeType to : {NodeType::A0, NodeType::A1, NodeType::PA,
+                            NodeType::PM, NodeType::PP}) {
+    EXPECT_FALSE(isLegalTransition(NodeType::A1, to));
+  }
+}
+
+TEST(TransitionLegality, A0HasFourSuccessors) {
+  EXPECT_TRUE(isLegalTransition(NodeType::A0, NodeType::A0));
+  EXPECT_TRUE(isLegalTransition(NodeType::A0, NodeType::M));
+  EXPECT_TRUE(isLegalTransition(NodeType::A0, NodeType::PM));
+  EXPECT_TRUE(isLegalTransition(NodeType::A0, NodeType::PP));
+  EXPECT_FALSE(isLegalTransition(NodeType::A0, NodeType::A1));
+  EXPECT_FALSE(isLegalTransition(NodeType::A0, NodeType::PA));
+}
+
+TEST(TransitionCensus, CountsAndFlagsIllegalMoves) {
+  const Graph g = graph::path(2);
+  TransitionCensus census(g);
+  // Legal: both nodes A0 -> M (mutual proposals).
+  std::vector<PointerState> before(2);
+  std::vector<PointerState> after(2);
+  after[0].ptr = 1;
+  after[1].ptr = 0;
+  census.record(0, before, after);
+  EXPECT_EQ(census.transitionsRecorded(), 2u);
+  EXPECT_EQ(census.illegalCount(), 0u);
+  EXPECT_EQ(
+      census.counts()[static_cast<std::size_t>(NodeType::A0)]
+                     [static_cast<std::size_t>(NodeType::M)],
+      2u);
+
+  // Illegal: matched pair dissolving (never happens under SMM).
+  census.record(1, after, before);
+  EXPECT_EQ(census.illegalCount(), 2u);
+}
+
+TEST(TransitionCensus, FlagsLateA1AndPa) {
+  const Graph g = graph::path(3);
+  std::vector<PointerState> pa(3);
+  pa[0].ptr = 1;  // 0 in PA, 1 in A1, 2 in A0
+  const std::vector<PointerState> allNull(3);
+
+  TransitionCensus early(g);
+  early.record(0, pa, allNull);  // t=0 sources A1/PA are fine; targets A0
+  EXPECT_EQ(early.lateA1PaCount(), 0u);
+
+  TransitionCensus late(g);
+  late.record(3, pa, allNull);  // the same sources at t=3 violate Lemma 7
+  EXPECT_EQ(late.lateA1PaCount(), 2u);
+
+  TransitionCensus target(g);
+  target.record(0, allNull, pa);  // any *target* in A1/PA violates Lemma 7
+  EXPECT_EQ(target.lateA1PaCount(), 2u);
+}
+
+TEST(TransitionCensus, CleanSmmRunFromAdversarialStartIsLegal) {
+  // The paper's own algorithm must never trip the checker, even from states
+  // engineered to populate PA and A1 at t=0.
+  const Graph g = graph::path(8);
+  const auto ids = IdAssignment::identity(8);
+  const core::SmmProtocol smm = core::smmPaper();
+  std::vector<PointerState> states(8);
+  states[0].ptr = 1;  // PA/A1 pair
+  states[3].ptr = 4;
+  states[4].ptr = 3;  // matched pair
+  states[2].ptr = 3;  // PM
+  states[6].ptr = 5;
+  states[5].ptr = 4;  // PP chain into the matched pair
+
+  engine::SyncRunner<PointerState> runner(smm, g, ids);
+  TransitionCensus census(g);
+  const auto result = runner.run(
+      states, 20,
+      [&](std::size_t t, const std::vector<PointerState>& before,
+          const std::vector<PointerState>& after, std::size_t) {
+        census.record(t, before, after);
+      });
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_EQ(census.illegalCount(), 0u);
+  EXPECT_EQ(census.lateA1PaCount(), 0u);
+  EXPECT_GT(census.transitionsRecorded(), 0u);
+}
+
+}  // namespace
+}  // namespace selfstab::analysis

@@ -1,0 +1,170 @@
+#include "analysis/verifiers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace selfstab::analysis {
+namespace {
+
+using core::BitState;
+using core::ColorState;
+using core::PointerState;
+using graph::Edge;
+using graph::Graph;
+using graph::Vertex;
+
+TEST(MatchedEdges, ExtractsMutualPairsOnly) {
+  const Graph g = graph::path(4);
+  std::vector<PointerState> states(4);
+  states[0].ptr = 1;
+  states[1].ptr = 0;  // mutual
+  states[2].ptr = 3;  // one-directional
+  const auto edges = matchedEdges(g, states);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+}
+
+TEST(MatchedEdges, IgnoresNonEdgesEvenIfMutual) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  std::vector<PointerState> states(4);
+  states[2].ptr = 3;
+  states[3].ptr = 2;  // mutual but {2,3} is not an edge
+  EXPECT_TRUE(matchedEdges(g, states).empty());
+}
+
+TEST(IsMatching, RejectsSharedVertex) {
+  const Graph g = graph::path(4);
+  const std::vector<Edge> bad{{0, 1}, {1, 2}};
+  EXPECT_FALSE(isMatching(g, bad));
+  const std::vector<Edge> good{{0, 1}, {2, 3}};
+  EXPECT_TRUE(isMatching(g, good));
+}
+
+TEST(IsMatching, RejectsNonEdge) {
+  const Graph g = graph::path(4);
+  const std::vector<Edge> bad{{0, 2}};
+  EXPECT_FALSE(isMatching(g, bad));
+}
+
+TEST(IsMaximalMatching, DetectsAugmentableEdge) {
+  const Graph g = graph::path(5);  // edges 01 12 23 34
+  const std::vector<Edge> notMaximal{{1, 2}};  // {3,4} could be added
+  EXPECT_FALSE(isMaximalMatching(g, notMaximal));
+  const std::vector<Edge> maximal{{1, 2}, {3, 4}};
+  EXPECT_TRUE(isMaximalMatching(g, maximal));
+}
+
+TEST(IsMaximalMatching, EmptyMatchingOnEdgelessGraphIsMaximal) {
+  const Graph g(4);
+  EXPECT_TRUE(isMaximalMatching(g, std::vector<Edge>{}));
+}
+
+TEST(CheckMatchingFixpoint, AcceptsGoodFixpoint) {
+  const Graph g = graph::path(5);
+  std::vector<PointerState> states(5);
+  states[0].ptr = 1;
+  states[1].ptr = 0;
+  states[2].ptr = 3;
+  states[3].ptr = 2;
+  const auto check = checkMatchingFixpoint(g, states);
+  EXPECT_TRUE(check.ok());
+}
+
+TEST(CheckMatchingFixpoint, RejectsNonMaximal) {
+  const Graph g = graph::path(5);
+  std::vector<PointerState> states(5);
+  states[1].ptr = 2;
+  states[2].ptr = 1;
+  // 0, 3, 4 all null; {3,4} addable.
+  const auto check = checkMatchingFixpoint(g, states);
+  EXPECT_TRUE(check.typeCorrect);
+  EXPECT_TRUE(check.isMatching);
+  EXPECT_FALSE(check.isMaximal);
+  EXPECT_FALSE(check.ok());
+}
+
+TEST(CheckMatchingFixpoint, RejectsLingeringPointers) {
+  const Graph g = graph::path(4);
+  std::vector<PointerState> states(4);
+  states[0].ptr = 1;
+  states[1].ptr = 0;
+  states[2].ptr = 1;  // PM node: not a legal fixpoint shape
+  states[3].ptr = 2;
+  const auto check = checkMatchingFixpoint(g, states);
+  EXPECT_FALSE(check.unmatchedAreAloof);
+  EXPECT_FALSE(check.ok());
+}
+
+TEST(CheckMatchingFixpoint, RejectsDanglingPointer) {
+  const Graph g = graph::path(4);
+  std::vector<PointerState> states(4);
+  states[0].ptr = 3;
+  const auto check = checkMatchingFixpoint(g, states);
+  EXPECT_FALSE(check.typeCorrect);
+  EXPECT_FALSE(check.ok());
+}
+
+TEST(IndependentSet, MembersOfReadsBits) {
+  std::vector<BitState> states(5);
+  states[1].in = true;
+  states[4].in = true;
+  const auto members = membersOf(states);
+  EXPECT_EQ(members, (std::vector<Vertex>{1, 4}));
+}
+
+TEST(IndependentSet, ValidityAndMaximality) {
+  const Graph g = graph::cycle(5);
+  EXPECT_TRUE(isIndependentSet(g, std::vector<Vertex>{0, 2}));
+  EXPECT_FALSE(isIndependentSet(g, std::vector<Vertex>{0, 1}));
+  EXPECT_TRUE(isMaximalIndependentSet(g, std::vector<Vertex>{0, 2}));
+  // {0} alone: 2 and 3 undominated.
+  EXPECT_FALSE(isMaximalIndependentSet(g, std::vector<Vertex>{0}));
+  // {0,2,3} is not independent.
+  EXPECT_FALSE(isMaximalIndependentSet(g, std::vector<Vertex>{0, 2, 3}));
+}
+
+TEST(IndependentSet, EmptySetMaximalOnlyOnEdgelessEmptyGraph) {
+  EXPECT_TRUE(isMaximalIndependentSet(Graph(0), std::vector<Vertex>{}));
+  EXPECT_FALSE(isMaximalIndependentSet(Graph(3), std::vector<Vertex>{}));
+}
+
+TEST(DominatingSet, ValidityChecks) {
+  const Graph g = graph::star(6);
+  EXPECT_TRUE(isDominatingSet(g, std::vector<Vertex>{0}));
+  EXPECT_FALSE(isDominatingSet(g, std::vector<Vertex>{1}));
+  EXPECT_TRUE(isDominatingSet(g, std::vector<Vertex>{1, 2, 3, 4, 5}));
+}
+
+TEST(DominatingSet, MinimalityViaPrivateNeighbors) {
+  const Graph g = graph::star(6);
+  EXPECT_TRUE(isMinimalDominatingSet(g, std::vector<Vertex>{0}));
+  EXPECT_TRUE(isMinimalDominatingSet(g, std::vector<Vertex>{1, 2, 3, 4, 5}));
+  // Center plus a leaf: the leaf is redundant.
+  EXPECT_FALSE(isMinimalDominatingSet(g, std::vector<Vertex>{0, 1}));
+}
+
+TEST(DominatingSet, PathCases) {
+  const Graph g = graph::path(6);
+  EXPECT_TRUE(isMinimalDominatingSet(g, std::vector<Vertex>{1, 4}));
+  EXPECT_FALSE(isMinimalDominatingSet(g, std::vector<Vertex>{1, 2, 4}));
+  EXPECT_FALSE(isDominatingSet(g, std::vector<Vertex>{1}));
+}
+
+TEST(Coloring, ProperAndImproper) {
+  const Graph g = graph::cycle(4);
+  EXPECT_TRUE(isProperColoring(g, std::vector<std::uint32_t>{0, 1, 0, 1}));
+  EXPECT_FALSE(isProperColoring(g, std::vector<std::uint32_t>{0, 1, 1, 1}));
+}
+
+TEST(Coloring, ColorStateOverloadAndCount) {
+  const Graph g = graph::path(3);
+  std::vector<ColorState> states{{0}, {1}, {0}};
+  EXPECT_TRUE(isProperColoring(g, states));
+  EXPECT_EQ(colorCount(states), 2u);
+  EXPECT_EQ(colorCount(std::vector<ColorState>{}), 0u);
+}
+
+}  // namespace
+}  // namespace selfstab::analysis

@@ -1,0 +1,130 @@
+#include "cli/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace selfstab::cli {
+namespace {
+
+TEST(ParseGraphSpec, SimpleFamilies) {
+  const GraphSpec p = parseGraphSpec("path:10");
+  EXPECT_EQ(p.kind, GraphSpec::Kind::Path);
+  EXPECT_EQ(p.n, 10u);
+
+  const GraphSpec c = parseGraphSpec("cycle:7");
+  EXPECT_EQ(c.kind, GraphSpec::Kind::Cycle);
+  EXPECT_EQ(c.n, 7u);
+
+  EXPECT_EQ(parseGraphSpec("star:5").kind, GraphSpec::Kind::Star);
+  EXPECT_EQ(parseGraphSpec("complete:5").kind, GraphSpec::Kind::Complete);
+  EXPECT_EQ(parseGraphSpec("tree:5").kind, GraphSpec::Kind::Tree);
+}
+
+TEST(ParseGraphSpec, Grid) {
+  const GraphSpec g = parseGraphSpec("grid:3x4");
+  EXPECT_EQ(g.kind, GraphSpec::Kind::Grid);
+  EXPECT_EQ(g.n, 3u);
+  EXPECT_EQ(g.cols, 4u);
+}
+
+TEST(ParseGraphSpec, RandomFamilies) {
+  const GraphSpec gnp = parseGraphSpec("gnp:64:0.25");
+  EXPECT_EQ(gnp.kind, GraphSpec::Kind::Gnp);
+  EXPECT_EQ(gnp.n, 64u);
+  EXPECT_DOUBLE_EQ(gnp.param, 0.25);
+
+  const GraphSpec udg = parseGraphSpec("udg:50:0.3");
+  EXPECT_EQ(udg.kind, GraphSpec::Kind::Udg);
+  EXPECT_DOUBLE_EQ(udg.param, 0.3);
+}
+
+TEST(ParseGraphSpec, File) {
+  const GraphSpec f = parseGraphSpec("file:topo.txt");
+  EXPECT_EQ(f.kind, GraphSpec::Kind::File);
+  EXPECT_EQ(f.path, "topo.txt");
+}
+
+TEST(ParseGraphSpec, Rejections) {
+  EXPECT_THROW(parseGraphSpec("pathological:3"), CliError);
+  EXPECT_THROW(parseGraphSpec("path:"), CliError);
+  EXPECT_THROW(parseGraphSpec("path:abc"), CliError);
+  EXPECT_THROW(parseGraphSpec("path:3:4"), CliError);
+  EXPECT_THROW(parseGraphSpec("cycle:2"), CliError);
+  EXPECT_THROW(parseGraphSpec("grid:3"), CliError);
+  EXPECT_THROW(parseGraphSpec("gnp:10"), CliError);
+  EXPECT_THROW(parseGraphSpec("gnp:10:1.5"), CliError);
+  EXPECT_THROW(parseGraphSpec("udg:10:-0.5"), CliError);
+  EXPECT_THROW(parseGraphSpec("file:"), CliError);
+}
+
+TEST(ParseOptions, Defaults) {
+  const Options o = parseOptions({});
+  EXPECT_EQ(o.protocol, ProtocolKind::Smm);
+  EXPECT_EQ(o.graph.kind, GraphSpec::Kind::Gnp);
+  EXPECT_EQ(o.idOrder, IdOrderKind::Identity);
+  EXPECT_EQ(o.start, StartKind::Clean);
+  EXPECT_EQ(o.seed, 1u);
+  EXPECT_EQ(o.maxRounds, 0u);
+  EXPECT_FALSE(o.trace);
+  EXPECT_FALSE(o.help);
+}
+
+TEST(ParseOptions, AllFlags) {
+  const Options o = parseOptions({"-p", "sis", "-g", "cycle:9", "--ids",
+                                  "random", "--start", "random", "--seed",
+                                  "99", "--max-rounds", "500", "--trace",
+                                  "--dot", "out.dot"});
+  EXPECT_EQ(o.protocol, ProtocolKind::Sis);
+  EXPECT_EQ(o.graph.kind, GraphSpec::Kind::Cycle);
+  EXPECT_EQ(o.graph.n, 9u);
+  EXPECT_EQ(o.idOrder, IdOrderKind::Random);
+  EXPECT_EQ(o.start, StartKind::Random);
+  EXPECT_EQ(o.seed, 99u);
+  EXPECT_EQ(o.maxRounds, 500u);
+  EXPECT_TRUE(o.trace);
+  EXPECT_EQ(o.dotPath, "out.dot");
+}
+
+TEST(ParseOptions, EveryProtocolName) {
+  EXPECT_EQ(parseOptions({"-p", "smm"}).protocol, ProtocolKind::Smm);
+  EXPECT_EQ(parseOptions({"-p", "smm-arbitrary"}).protocol,
+            ProtocolKind::SmmArbitrary);
+  EXPECT_EQ(parseOptions({"-p", "hh-sync"}).protocol,
+            ProtocolKind::HsuHuangSync);
+  EXPECT_EQ(parseOptions({"-p", "sis"}).protocol, ProtocolKind::Sis);
+  EXPECT_EQ(parseOptions({"-p", "coloring"}).protocol,
+            ProtocolKind::Coloring);
+  EXPECT_EQ(parseOptions({"-p", "domset"}).protocol,
+            ProtocolKind::DominatingSet);
+  EXPECT_EQ(parseOptions({"-p", "bfstree"}).protocol, ProtocolKind::BfsTree);
+  EXPECT_EQ(parseOptions({"-p", "leadertree"}).protocol,
+            ProtocolKind::LeaderTree);
+}
+
+TEST(ParseOptions, Help) {
+  EXPECT_TRUE(parseOptions({"--help"}).help);
+  EXPECT_TRUE(parseOptions({"-h"}).help);
+  EXPECT_FALSE(usage().empty());
+}
+
+TEST(ParseOptions, Rejections) {
+  EXPECT_THROW(parseOptions({"--protocol"}), CliError);       // missing value
+  EXPECT_THROW(parseOptions({"-p", "nope"}), CliError);       // bad protocol
+  EXPECT_THROW(parseOptions({"--ids", "alphabetical"}), CliError);
+  EXPECT_THROW(parseOptions({"--start", "warm"}), CliError);
+  EXPECT_THROW(parseOptions({"--seed", "xyz"}), CliError);
+  EXPECT_THROW(parseOptions({"--frobnicate"}), CliError);     // unknown flag
+}
+
+TEST(ProtocolToString, RoundTripsNames) {
+  EXPECT_EQ(toString(ProtocolKind::Smm), "smm");
+  EXPECT_EQ(toString(ProtocolKind::SmmArbitrary), "smm-arbitrary");
+  EXPECT_EQ(toString(ProtocolKind::HsuHuangSync), "hh-sync");
+  EXPECT_EQ(toString(ProtocolKind::Sis), "sis");
+  EXPECT_EQ(toString(ProtocolKind::Coloring), "coloring");
+  EXPECT_EQ(toString(ProtocolKind::DominatingSet), "domset");
+  EXPECT_EQ(toString(ProtocolKind::BfsTree), "bfstree");
+  EXPECT_EQ(toString(ProtocolKind::LeaderTree), "leadertree");
+}
+
+}  // namespace
+}  // namespace selfstab::cli

@@ -1,0 +1,148 @@
+#include "cli/sim_options.hpp"
+#include "cli/sim_run.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace selfstab::cli {
+namespace {
+
+TEST(ParseSimOptions, Defaults) {
+  const SimOptions o = parseSimOptions({});
+  EXPECT_EQ(o.protocol, SimProtocolKind::Smm);
+  EXPECT_EQ(o.nodes, 25u);
+  EXPECT_DOUBLE_EQ(o.radius, 0.35);
+  EXPECT_EQ(o.beaconInterval, 100 * adhoc::kMillisecond);
+  EXPECT_DOUBLE_EQ(o.lossProbability, 0.0);
+  EXPECT_EQ(o.collisionWindow, 0);
+  EXPECT_EQ(o.mobility, MobilityKind::Static);
+  EXPECT_TRUE(o.untilQuiet);
+  EXPECT_FALSE(o.help);
+}
+
+TEST(ParseSimOptions, AllFlags) {
+  const SimOptions o = parseSimOptions(
+      {"-p", "sis", "-n", "40", "--radius", "0.5", "--seed", "9",
+       "--beacon-ms", "50", "--loss", "0.2", "--collision-us", "500",
+       "--timeout-factor", "4", "--mobility", "waypoint", "--speed",
+       "0.02:0.06", "--stop-sec", "30", "--duration-sec", "90",
+       "--report-sec", "5", "--no-early-stop"});
+  EXPECT_EQ(o.protocol, SimProtocolKind::Sis);
+  EXPECT_EQ(o.nodes, 40u);
+  EXPECT_DOUBLE_EQ(o.radius, 0.5);
+  EXPECT_EQ(o.seed, 9u);
+  EXPECT_EQ(o.beaconInterval, 50 * adhoc::kMillisecond);
+  EXPECT_DOUBLE_EQ(o.lossProbability, 0.2);
+  EXPECT_EQ(o.collisionWindow, 500);
+  EXPECT_DOUBLE_EQ(o.timeoutFactor, 4.0);
+  EXPECT_EQ(o.mobility, MobilityKind::Waypoint);
+  EXPECT_DOUBLE_EQ(o.speedMin, 0.02);
+  EXPECT_DOUBLE_EQ(o.speedMax, 0.06);
+  EXPECT_EQ(o.stopTime, 30 * adhoc::kSecond);
+  EXPECT_EQ(o.duration, 90 * adhoc::kSecond);
+  EXPECT_EQ(o.reportEvery, 5 * adhoc::kSecond);
+  EXPECT_FALSE(o.untilQuiet);
+}
+
+TEST(ParseSimOptions, Rejections) {
+  EXPECT_THROW((void)parseSimOptions({"-p", "bogus"}), CliError);
+  EXPECT_THROW((void)parseSimOptions({"-n", "0"}), CliError);
+  EXPECT_THROW((void)parseSimOptions({"--loss", "1.5"}), CliError);
+  EXPECT_THROW((void)parseSimOptions({"--radius", "-1"}), CliError);
+  EXPECT_THROW((void)parseSimOptions({"--speed", "0.05"}), CliError);
+  EXPECT_THROW((void)parseSimOptions({"--speed", "0.06:0.02"}), CliError);
+  EXPECT_THROW((void)parseSimOptions({"--whatever"}), CliError);
+  EXPECT_THROW((void)parseSimOptions({"--duration-sec"}), CliError);
+}
+
+TEST(ParseSimOptions, HelpAndNames) {
+  EXPECT_TRUE(parseSimOptions({"-h"}).help);
+  EXPECT_FALSE(simUsage().empty());
+  EXPECT_EQ(toString(SimProtocolKind::Smm), "smm");
+  EXPECT_EQ(toString(SimProtocolKind::Sis), "sis");
+  EXPECT_EQ(toString(SimProtocolKind::LeaderTree), "leadertree");
+}
+
+TEST(ExecuteSim, SmmStaticDeploymentVerifies) {
+  SimOptions options;
+  options.nodes = 15;
+  options.seed = 3;
+  options.duration = 120 * adhoc::kSecond;
+  std::ostringstream out;
+  const SimReport report = executeSim(options, out);
+  EXPECT_TRUE(report.quiet);
+  EXPECT_TRUE(report.predicateOk);
+  EXPECT_GT(report.beaconsSent, 0u);
+  EXPECT_NE(report.summary.find("matching"), std::string::npos);
+  EXPECT_NE(out.str().find("time(s)"), std::string::npos);
+}
+
+TEST(ExecuteSim, SisWithLossVerifies) {
+  SimOptions options;
+  options.protocol = SimProtocolKind::Sis;
+  options.nodes = 15;
+  options.seed = 5;
+  options.lossProbability = 0.1;
+  options.duration = 240 * adhoc::kSecond;
+  std::ostringstream out;
+  const SimReport report = executeSim(options, out);
+  EXPECT_TRUE(report.quiet);
+  EXPECT_TRUE(report.predicateOk);
+  EXPECT_GT(report.beaconsLost, 0u);
+}
+
+TEST(ExecuteSim, LeaderTreeWithWaypointFreezeVerifies) {
+  SimOptions options;
+  options.protocol = SimProtocolKind::LeaderTree;
+  options.nodes = 12;
+  options.seed = 7;
+  options.radius = 0.5;
+  options.mobility = MobilityKind::Waypoint;
+  options.stopTime = 20 * adhoc::kSecond;
+  options.duration = 300 * adhoc::kSecond;
+  options.reportEvery = 20 * adhoc::kSecond;
+  std::ostringstream out;
+  const SimReport report = executeSim(options, out);
+  EXPECT_TRUE(report.quiet);
+  EXPECT_TRUE(report.predicateOk);
+  EXPECT_NE(report.summary.find("leader"), std::string::npos);
+}
+
+TEST(ExecuteSim, NoEarlyStopRunsFullDuration) {
+  SimOptions options;
+  options.nodes = 8;
+  options.seed = 11;
+  options.untilQuiet = false;
+  options.duration = 30 * adhoc::kSecond;
+  options.reportEvery = 10 * adhoc::kSecond;
+  std::ostringstream out;
+  const SimReport report = executeSim(options, out);
+  EXPECT_GE(report.endTime, 30 * adhoc::kSecond - adhoc::kSecond);
+  EXPECT_TRUE(report.predicateOk);
+}
+
+TEST(PrintSimReport, RendersCounters) {
+  SimReport report;
+  report.protocol = "sis";
+  report.nodes = 10;
+  report.endTime = 12 * adhoc::kSecond;
+  report.quiet = true;
+  report.predicateOk = true;
+  report.beaconsSent = 1200;
+  report.beaconsDelivered = 5000;
+  report.beaconsLost = 17;
+  report.beaconsCollided = 3;
+  report.moves = 42;
+  report.summary = "independent set: 4 member(s)";
+  std::ostringstream out;
+  printSimReport(report, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("1200 sent"), std::string::npos);
+  EXPECT_NE(text.find("17 lost"), std::string::npos);
+  EXPECT_NE(text.find("3 collided"), std::string::npos);
+  EXPECT_NE(text.find("verified    : yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace selfstab::cli

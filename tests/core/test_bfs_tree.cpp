@@ -1,0 +1,196 @@
+// Extension: self-stabilizing BFS spanning tree (the multicast-tree
+// substrate motivating the paper's introduction; refs [13, 14]).
+#include "core/bfs_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/verifiers.hpp"
+#include "engine/fault.hpp"
+#include "engine/sync_runner.hpp"
+#include "engine/view_builder.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::core {
+namespace {
+
+using analysis::isShortestPathTree;
+using engine::SyncRunner;
+using engine::ViewBuilder;
+using graph::Graph;
+using graph::IdAssignment;
+
+TEST(BfsTreeRules, RootRepairsItself) {
+  const Graph g = graph::path(3);
+  const auto ids = IdAssignment::identity(3);
+  ViewBuilder<TreeState> builder(g, ids);
+  const BfsTreeProtocol bfs(/*rootId=*/0, /*cap=*/3);
+  std::vector<TreeState> states(3, TreeState{7, 2});
+  const auto move = bfs.onRound(builder.build(0, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->dist, 0u);
+  EXPECT_EQ(move->parent, graph::kNoVertex);
+}
+
+TEST(BfsTreeRules, NodeAdoptsMinNeighborPlusOne) {
+  const Graph g = graph::path(3);
+  const auto ids = IdAssignment::identity(3);
+  ViewBuilder<TreeState> builder(g, ids);
+  const BfsTreeProtocol bfs(0, 3);
+  std::vector<TreeState> states(3);
+  states[0] = TreeState{0, graph::kNoVertex};
+  states[2] = TreeState{3, graph::kNoVertex};
+  states[1] = TreeState{3, graph::kNoVertex};
+  const auto move = bfs.onRound(builder.build(1, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->dist, 1u);
+  EXPECT_EQ(move->parent, 0u);
+}
+
+TEST(BfsTreeRules, TieBreaksByMinId) {
+  // Diamond: 1 and 2 both at distance 1; node 3 must pick min-ID parent.
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(0, 2);
+  g.addEdge(1, 3);
+  g.addEdge(2, 3);
+  const auto ids = IdAssignment::identity(4);
+  ViewBuilder<TreeState> builder(g, ids);
+  const BfsTreeProtocol bfs(0, 4);
+  std::vector<TreeState> states(4);
+  states[1] = TreeState{1, 0};
+  states[2] = TreeState{1, 0};
+  states[3] = TreeState{4, graph::kNoVertex};
+  const auto move = bfs.onRound(builder.build(3, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->dist, 2u);
+  EXPECT_EQ(move->parent, 1u);
+
+  // With reversed IDs the other branch wins.
+  const auto reversed = IdAssignment::reversed(4);
+  ViewBuilder<TreeState> rbuilder(g, reversed);
+  const BfsTreeProtocol rbfs(reversed.idOf(0), 4);
+  const auto rmove = rbfs.onRound(rbuilder.build(3, states));
+  ASSERT_TRUE(rmove.has_value());
+  EXPECT_EQ(rmove->parent, 2u);
+}
+
+TEST(BfsTreeRules, CorruptHugeDistanceCannotOverflow) {
+  const Graph g = graph::path(2);
+  const auto ids = IdAssignment::identity(2);
+  ViewBuilder<TreeState> builder(g, ids);
+  const BfsTreeProtocol bfs(0, 2);
+  std::vector<TreeState> states(2);
+  states[0] = TreeState{0xFFFFFFFFu, 1};  // corrupt root state
+  states[1] = TreeState{0xFFFFFFFFu, 0};
+  const auto move = bfs.onRound(builder.build(1, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->dist, 2u);  // clamped to cap
+  EXPECT_EQ(move->parent, graph::kNoVertex);
+}
+
+TEST(BfsTreeConvergence, CleanStartStabilizesToTrueBfsTree) {
+  graph::Rng rng(91);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = graph::connectedErdosRenyi(30, 0.12, rng);
+    const auto n = static_cast<std::uint32_t>(g.order());
+    const auto ids = IdAssignment::identity(g.order());
+    const BfsTreeProtocol bfs(/*rootId=*/0, n);
+    SyncRunner<TreeState> runner(bfs, g, ids);
+    auto states = runner.initialStates();
+    const auto result = runner.run(states, 3 * g.order());
+    ASSERT_TRUE(result.stabilized) << "trial " << trial;
+    // Clean start: distances only decrease, so diameter-ish rounds suffice.
+    EXPECT_LE(result.rounds, graph::diameter(g) + 2) << "trial " << trial;
+    EXPECT_TRUE(isShortestPathTree(g, ids, 0, n, states));
+  }
+}
+
+TEST(BfsTreeConvergence, ArbitraryStartStabilizesWithinLinearRounds) {
+  graph::Rng rng(93);
+  const int kTrials = 30;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const Graph g = graph::connectedErdosRenyi(24, 0.15, rng);
+    const auto n = static_cast<std::uint32_t>(g.order());
+    const auto ids = IdAssignment::identity(g.order());
+    const BfsTreeProtocol bfs(0, n);
+    auto states =
+        engine::randomConfiguration<TreeState>(g, rng, randomTreeState);
+    SyncRunner<TreeState> runner(bfs, g, ids);
+    const auto result = runner.run(states, 3 * g.order());
+    ASSERT_TRUE(result.stabilized) << "trial " << trial;
+    EXPECT_LE(result.rounds, 2 * g.order()) << "trial " << trial;
+    EXPECT_TRUE(isShortestPathTree(g, ids, 0, n, states));
+  }
+}
+
+TEST(BfsTreeConvergence, NonTrivialRootWorks) {
+  const Graph g = graph::grid(4, 5);
+  const auto n = static_cast<std::uint32_t>(g.order());
+  graph::Rng idRng(5);
+  const auto ids = IdAssignment::randomPermutation(g.order(), idRng);
+  const graph::Vertex root = 13;
+  const BfsTreeProtocol bfs(ids.idOf(root), n);
+  SyncRunner<TreeState> runner(bfs, g, ids);
+  auto states = runner.initialStates();
+  ASSERT_TRUE(runner.run(states, 3 * g.order()).stabilized);
+  EXPECT_TRUE(isShortestPathTree(g, ids, root, n, states));
+}
+
+TEST(BfsTreeConvergence, DisconnectedComponentSaturates) {
+  Graph g(5);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(3, 4);  // island without the root
+  const auto ids = IdAssignment::identity(5);
+  const BfsTreeProtocol bfs(0, 5);
+  SyncRunner<TreeState> runner(bfs, g, ids);
+  auto states = runner.initialStates();
+  ASSERT_TRUE(runner.run(states, 20).stabilized);
+  EXPECT_TRUE(isShortestPathTree(g, ids, 0, 5, states));
+  EXPECT_EQ(states[3].dist, 5u);
+  EXPECT_EQ(states[4].dist, 5u);
+}
+
+TEST(BfsTreeConvergence, RecoversAfterLinkFailureOnTreeEdge) {
+  // Break the path edge nearest the root; the far side must re-route /
+  // saturate. On a cycle, breaking one edge re-routes around.
+  Graph g = graph::cycle(10);
+  const auto ids = IdAssignment::identity(10);
+  const BfsTreeProtocol bfs(0, 10);
+  SyncRunner<TreeState> runner(bfs, g, ids);
+  auto states = runner.initialStates();
+  ASSERT_TRUE(runner.run(states, 40).stabilized);
+  ASSERT_TRUE(isShortestPathTree(g, ids, 0, 10, states));
+
+  g.removeEdge(0, 1);  // now a path 1-2-...-9-0
+  SyncRunner<TreeState> rerun(bfs, g, ids);
+  ASSERT_TRUE(rerun.run(states, 40).stabilized);
+  EXPECT_TRUE(isShortestPathTree(g, ids, 0, 10, states));
+  EXPECT_EQ(states[1].dist, 9u);  // all the way around
+}
+
+TEST(BfsTreeConvergence, ParentPointersReachRootWithoutCycles) {
+  graph::Rng rng(97);
+  const Graph g = graph::connectedRandomGeometric(25, 0.35, rng);
+  const auto n = static_cast<std::uint32_t>(g.order());
+  const auto ids = IdAssignment::identity(g.order());
+  const BfsTreeProtocol bfs(0, n);
+  auto states =
+      engine::randomConfiguration<TreeState>(g, rng, randomTreeState);
+  SyncRunner<TreeState> runner(bfs, g, ids);
+  ASSERT_TRUE(runner.run(states, 3 * g.order()).stabilized);
+  // Walk up from every node; must reach the root in <= n hops.
+  for (graph::Vertex v = 0; v < g.order(); ++v) {
+    graph::Vertex cur = v;
+    std::size_t hops = 0;
+    while (cur != 0) {
+      cur = states[cur].parent;
+      ASSERT_NE(cur, graph::kNoVertex);
+      ASSERT_LE(++hops, g.order());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace selfstab::core

@@ -1,0 +1,142 @@
+// Extension: synchronous self-stabilizing Grundy-style coloring (in the
+// style of the paper's reference [7]).
+#include "core/coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/verifiers.hpp"
+#include "engine/fault.hpp"
+#include "engine/sync_runner.hpp"
+#include "engine/view_builder.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::core {
+namespace {
+
+using analysis::colorCount;
+using analysis::isProperColoring;
+using engine::SyncRunner;
+using engine::ViewBuilder;
+using graph::Graph;
+using graph::IdAssignment;
+
+TEST(ColoringRules, NodeAdoptsMexOverBiggerNeighbors) {
+  const Graph g = graph::star(4);  // center 0, leaves 1..3
+  const auto ids = IdAssignment::identity(4);
+  ViewBuilder<ColorState> builder(g, ids);
+  const ColoringProtocol coloring;
+  std::vector<ColorState> states(4);
+  states[1].color = 0;
+  states[2].color = 1;
+  states[3].color = 2;
+  // Center (smallest ID) sees bigger neighbors with {0,1,2}: mex = 3.
+  const auto move = coloring.onRound(builder.build(0, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->color, 3u);
+}
+
+TEST(ColoringRules, BiggestNodeTakesColorZero) {
+  const Graph g = graph::path(3);
+  const auto ids = IdAssignment::identity(3);
+  ViewBuilder<ColorState> builder(g, ids);
+  const ColoringProtocol coloring;
+  std::vector<ColorState> states(3);
+  states[2].color = 5;  // garbage; no bigger neighbors -> mex {} = 0
+  const auto move = coloring.onRound(builder.build(2, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->color, 0u);
+}
+
+TEST(ColoringRules, SmallerNeighborsColorsAreIgnored) {
+  const Graph g = graph::path(2);
+  const auto ids = IdAssignment::identity(2);
+  ViewBuilder<ColorState> builder(g, ids);
+  const ColoringProtocol coloring;
+  std::vector<ColorState> states(2);
+  states[0].color = 0;
+  states[1].color = 0;
+  // Node 1 is bigger: its mex over bigger neighbors is mex{} = 0, already
+  // holds 0 -> stable even though its smaller neighbor clashes (node 0 will
+  // move instead).
+  EXPECT_FALSE(coloring.onRound(builder.build(1, states)).has_value());
+  EXPECT_TRUE(coloring.onRound(builder.build(0, states)).has_value());
+}
+
+TEST(ColoringConvergence, ProperColoringWithinNRoundsAcrossFamilies) {
+  graph::Rng rng(61);
+  const ColoringProtocol coloring;
+  const std::vector<Graph> graphs{
+      graph::path(30),     graph::cycle(31),
+      graph::complete(15), graph::star(25),
+      graph::grid(5, 6),   graph::connectedErdosRenyi(30, 0.15, rng)};
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    const auto ids = IdAssignment::identity(g.order());
+    SyncRunner<ColorState> runner(coloring, g, ids);
+    auto states = runner.initialStates();
+    const auto result = runner.run(states, g.order() + 1);
+    ASSERT_TRUE(result.stabilized) << "graph " << i;
+    EXPECT_LE(result.rounds, g.order()) << "graph " << i;
+    EXPECT_TRUE(isProperColoring(g, states)) << "graph " << i;
+    EXPECT_LE(colorCount(states), g.maxDegree() + 1) << "graph " << i;
+  }
+}
+
+TEST(ColoringConvergence, FromCorruptedColors) {
+  graph::Rng rng(67);
+  const ColoringProtocol coloring;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Graph g = graph::connectedErdosRenyi(25, 0.15, rng);
+    const auto ids = IdAssignment::identity(25);
+    auto states =
+        engine::randomConfiguration<ColorState>(g, rng, randomColorState);
+    SyncRunner<ColorState> runner(coloring, g, ids);
+    const auto result = runner.run(states, g.order() + 1);
+    ASSERT_TRUE(result.stabilized) << "trial " << trial;
+    EXPECT_TRUE(isProperColoring(g, states)) << "trial " << trial;
+    EXPECT_LE(colorCount(states), g.maxDegree() + 1);
+  }
+}
+
+TEST(ColoringConvergence, CompleteGraphUsesExactlyNColors) {
+  const Graph g = graph::complete(8);
+  const auto ids = IdAssignment::identity(8);
+  const ColoringProtocol coloring;
+  SyncRunner<ColorState> runner(coloring, g, ids);
+  auto states = runner.initialStates();
+  ASSERT_TRUE(runner.run(states, 20).stabilized);
+  EXPECT_TRUE(isProperColoring(g, states));
+  EXPECT_EQ(colorCount(states), 8u);
+}
+
+TEST(ColoringConvergence, BipartiteGetsFewColorsWithGoodIdOrder) {
+  // On K_{a,b} with identity IDs the algorithm 2-colors: every right vertex
+  // is bigger than every left vertex.
+  const Graph g = graph::completeBipartite(5, 5);
+  const auto ids = IdAssignment::identity(10);
+  const ColoringProtocol coloring;
+  SyncRunner<ColorState> runner(coloring, g, ids);
+  auto states = runner.initialStates();
+  ASSERT_TRUE(runner.run(states, 20).stabilized);
+  EXPECT_TRUE(isProperColoring(g, states));
+  EXPECT_LE(colorCount(states), 2u);
+}
+
+TEST(ColoringConvergence, IdOrderSweepStaysProper) {
+  graph::Rng rng(71);
+  const Graph g = graph::grid(4, 5);
+  const ColoringProtocol coloring;
+  for (int order = 0; order < 5; ++order) {
+    graph::Rng idRng(order);
+    const auto ids = IdAssignment::randomPermutation(g.order(), idRng);
+    SyncRunner<ColorState> runner(coloring, g, ids);
+    auto states =
+        engine::randomConfiguration<ColorState>(g, rng, randomColorState);
+    const auto result = runner.run(states, g.order() + 1);
+    ASSERT_TRUE(result.stabilized);
+    EXPECT_TRUE(isProperColoring(g, states));
+  }
+}
+
+}  // namespace
+}  // namespace selfstab::core

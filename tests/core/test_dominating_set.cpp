@@ -1,0 +1,155 @@
+// Extension: self-stabilizing minimal dominating set with published
+// dominator counts, intended for central-daemon or Synchronized execution.
+#include "core/dominating_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/verifiers.hpp"
+#include "core/local_mutex.hpp"
+#include "engine/daemons.hpp"
+#include "engine/fault.hpp"
+#include "engine/sync_runner.hpp"
+#include "engine/view_builder.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::core {
+namespace {
+
+using analysis::isMinimalDominatingSet;
+using analysis::membersOf;
+using engine::CentralDaemonRunner;
+using engine::CentralPolicy;
+using engine::SyncRunner;
+using engine::ViewBuilder;
+using graph::Graph;
+using graph::IdAssignment;
+
+TEST(DomRules, UndominatedNodeEnters) {
+  const Graph g = graph::path(3);
+  const auto ids = IdAssignment::identity(3);
+  ViewBuilder<DomState> builder(g, ids);
+  const DominatingSetProtocol dom;
+  const std::vector<DomState> states(3);  // nobody in, counts 0
+  const auto move = dom.onRound(builder.build(1, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_TRUE(move->in);
+  EXPECT_EQ(move->published, 1u);
+}
+
+TEST(DomRules, StaleCountRefreshesBeforeLeaving) {
+  const Graph g = graph::path(3);
+  const auto ids = IdAssignment::identity(3);
+  ViewBuilder<DomState> builder(g, ids);
+  const DominatingSetProtocol dom;
+  std::vector<DomState> states(3);
+  states[0] = DomState{true, 1};
+  states[1] = DomState{true, 0};  // member with stale count (truly 2)
+  states[2] = DomState{false, 1};
+  const auto move = dom.onRound(builder.build(1, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_TRUE(move->in);              // still a member
+  EXPECT_EQ(move->published, 2u);     // just bookkeeping
+}
+
+TEST(DomRules, RedundantMemberWithoutPrivateNeighborLeaves) {
+  const Graph g = graph::path(3);
+  const auto ids = IdAssignment::identity(3);
+  ViewBuilder<DomState> builder(g, ids);
+  const DominatingSetProtocol dom;
+  std::vector<DomState> states(3);
+  // Both 0 and 1 in; 2 dominated twice (by 1 and... path 0-1-2: N(2)={1}).
+  // Use: 0 in, 1 in. Node 1: fresh count = 2 (self + 0). Neighbor 0 is a
+  // member, neighbor 2 is out with published count 1 -> 2 is 1's private
+  // neighbor, so 1 must NOT leave.
+  states[0] = DomState{true, 2};
+  states[1] = DomState{true, 2};
+  states[2] = DomState{false, 1};
+  EXPECT_FALSE(dom.onRound(builder.build(1, states)).has_value());
+
+  // Node 0: fresh count = 2 (self + 1); only neighbor is member 1 -> no
+  // private neighbor: leaves.
+  const auto move = dom.onRound(builder.build(0, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_FALSE(move->in);
+  EXPECT_EQ(move->published, 1u);
+}
+
+TEST(DomRules, SoleDominatorStays) {
+  const Graph g = graph::star(5);
+  const auto ids = IdAssignment::identity(5);
+  ViewBuilder<DomState> builder(g, ids);
+  const DominatingSetProtocol dom;
+  std::vector<DomState> states(5);
+  states[0] = DomState{true, 1};
+  for (graph::Vertex leaf = 1; leaf < 5; ++leaf) {
+    states[leaf] = DomState{false, 1};
+  }
+  EXPECT_FALSE(dom.onRound(builder.build(0, states)).has_value());
+}
+
+TEST(DomConvergence, CentralDaemonReachesMinimalDominatingSet) {
+  graph::Rng rng(73);
+  const DominatingSetProtocol dom;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = graph::connectedErdosRenyi(18, 0.18, rng);
+    const auto ids = IdAssignment::identity(18);
+    auto states =
+        engine::randomConfiguration<DomState>(g, rng, randomDomState);
+    CentralDaemonRunner<DomState> runner(dom, g, ids, CentralPolicy::Random,
+                                         trial);
+    const auto result = runner.run(states, 200000);
+    ASSERT_TRUE(result.stabilized) << "trial " << trial;
+    EXPECT_TRUE(isMinimalDominatingSet(g, membersOf(states)))
+        << "trial " << trial;
+  }
+}
+
+TEST(DomConvergence, SynchronizedWrapperReachesMinimalDominatingSet) {
+  graph::Rng rng(79);
+  const Synchronized<DominatingSetProtocol> dom;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = graph::connectedErdosRenyi(18, 0.18, rng);
+    const auto ids = IdAssignment::identity(18);
+    auto states =
+        engine::randomConfiguration<DomState>(g, rng, randomDomState);
+    SyncRunner<DomState> runner(dom, g, ids, trial);
+    const auto result = runner.run(states, 20000);
+    ASSERT_TRUE(result.stabilized) << "trial " << trial;
+    EXPECT_TRUE(isMinimalDominatingSet(g, membersOf(states)))
+        << "trial " << trial;
+  }
+}
+
+TEST(DomConvergence, FixpointOnFamilies) {
+  graph::Rng rng(83);
+  const Synchronized<DominatingSetProtocol> dom;
+  const std::vector<Graph> graphs{graph::path(20), graph::cycle(21),
+                                  graph::star(15), graph::complete(10),
+                                  graph::grid(4, 5)};
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    const auto ids = IdAssignment::identity(g.order());
+    SyncRunner<DomState> runner(dom, g, ids, i);
+    auto states = runner.initialStates();
+    const auto result = runner.run(states, 20000);
+    ASSERT_TRUE(result.stabilized) << "graph " << i;
+    EXPECT_TRUE(isMinimalDominatingSet(g, membersOf(states)))
+        << "graph " << i;
+  }
+}
+
+TEST(DomConvergence, StarSettlesOnCenterOrLeaves) {
+  const Graph g = graph::star(8);
+  const auto ids = IdAssignment::identity(8);
+  const Synchronized<DominatingSetProtocol> dom;
+  SyncRunner<DomState> runner(dom, g, ids, 11);
+  auto states = runner.initialStates();
+  ASSERT_TRUE(runner.run(states, 10000).stabilized);
+  const auto members = membersOf(states);
+  EXPECT_TRUE(isMinimalDominatingSet(g, members));
+  // Minimal dominating sets of a star: {center} or all leaves.
+  EXPECT_TRUE(members.size() == 1 || members.size() == 7);
+}
+
+}  // namespace
+}  // namespace selfstab::core

@@ -1,0 +1,123 @@
+// The Hsu–Huang [15] baseline: same three rules as SMM with arbitrary
+// selections, correct under a central daemon from any initial configuration.
+#include <gtest/gtest.h>
+
+#include "analysis/verifiers.hpp"
+#include "core/smm.hpp"
+#include "engine/cycle_detection.hpp"
+#include "engine/daemons.hpp"
+#include "engine/fault.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::core {
+namespace {
+
+using analysis::checkMatchingFixpoint;
+using engine::CentralDaemonRunner;
+using engine::CentralPolicy;
+using graph::Graph;
+using graph::IdAssignment;
+
+TEST(HsuHuang, ConvergesUnderEveryCentralPolicyFromRandomStates) {
+  graph::Rng rng(41);
+  const SmmProtocol hh = hsuHuang();
+  for (const CentralPolicy policy :
+       {CentralPolicy::Random, CentralPolicy::MinId, CentralPolicy::MaxId,
+        CentralPolicy::RoundRobin}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const Graph g = graph::connectedErdosRenyi(18, 0.18, rng);
+      const auto ids = IdAssignment::identity(18);
+      auto states = engine::randomConfiguration<PointerState>(
+          g, rng, randomPointerState);
+      CentralDaemonRunner<PointerState> runner(hh, g, ids, policy,
+                                               trial + 100);
+      const auto result = runner.run(states, 100000);
+      ASSERT_TRUE(result.stabilized)
+          << "policy " << static_cast<int>(policy) << " trial " << trial;
+      EXPECT_TRUE(checkMatchingFixpoint(g, states).ok());
+    }
+  }
+}
+
+TEST(HsuHuang, MoveCountIsPolynomiallyBounded) {
+  // Hsu & Huang proved O(n^3) moves (later sharpened to O(n*m)); check a
+  // generous polynomial envelope empirically.
+  graph::Rng rng(43);
+  const SmmProtocol hh = hsuHuang();
+  for (const std::size_t n : {10u, 20u, 40u}) {
+    std::size_t worst = 0;
+    for (int trial = 0; trial < 10; ++trial) {
+      const Graph g = graph::connectedErdosRenyi(n, 0.2, rng);
+      const auto ids = IdAssignment::identity(n);
+      auto states = engine::randomConfiguration<PointerState>(
+          g, rng, randomPointerState);
+      CentralDaemonRunner<PointerState> runner(
+          hh, g, ids, CentralPolicy::Random, trial);
+      const auto result = runner.run(states, n * n * n);
+      ASSERT_TRUE(result.stabilized);
+      worst = std::max(worst, result.moves);
+    }
+    EXPECT_LE(worst, n * n * n);
+  }
+}
+
+TEST(HsuHuang, NaiveSynchronousExecutionCanCycle) {
+  // Running the central-daemon algorithm unmodified under the synchronous
+  // model is exactly the broken variant of the Section 3 remark: on C4 from
+  // all-null it livelocks. (This is why the paper's R2 needs min-ID, and why
+  // the [16]-style transformation exists — see test_local_mutex.cpp.)
+  const Graph g = graph::cycle(4);
+  const auto ids = IdAssignment::identity(4);
+  const SmmProtocol broken = smmArbitrary(Choice::Successor);
+  const std::vector<PointerState> start(4);
+  const auto result = engine::traceTrajectory(broken, g, ids, start, 1000);
+  EXPECT_FALSE(result.stabilized);
+  EXPECT_TRUE(result.cycled);
+  EXPECT_EQ(result.cycleLength % 2, 0u);  // propose/back-off alternation
+}
+
+TEST(HsuHuang, PaperSmmStabilizesOnTheSameInstance) {
+  // Contrast with the test above: min-ID proposals stabilize on C4.
+  const Graph g = graph::cycle(4);
+  const auto ids = IdAssignment::identity(4);
+  const SmmProtocol smm = smmPaper();
+  const std::vector<PointerState> start(4);
+  const auto result = engine::traceTrajectory(smm, g, ids, start, 1000);
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_FALSE(result.cycled);
+  EXPECT_LE(result.rounds, 5u);  // Theorem 1: n+1
+}
+
+TEST(HsuHuang, RandomDistributedDaemonEscapesTheC4Livelock) {
+  // The livelock needs *perfect* synchrony: everyone proposes and backs off
+  // in lockstep. A distributed daemon that activates random subsets breaks
+  // the symmetry almost surely, so the same broken rule converges.
+  const Graph g = graph::cycle(4);
+  const auto ids = IdAssignment::identity(4);
+  const SmmProtocol broken = smmArbitrary(Choice::Successor);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    engine::DistributedDaemonRunner<PointerState> runner(broken, g, ids, 0.5,
+                                                         seed);
+    std::vector<PointerState> states(4);
+    const auto result = runner.run(states, 100000);
+    ASSERT_TRUE(result.stabilized) << "seed " << seed;
+    EXPECT_TRUE(checkMatchingFixpoint(g, states).ok()) << "seed " << seed;
+  }
+}
+
+TEST(HsuHuang, ArbitraryChoiceUnderCentralDaemonIsStillCorrect) {
+  // The min-ID requirement matters only for the synchronous model; under a
+  // central daemon even the Successor policy stabilizes.
+  const Graph g = graph::cycle(4);
+  const auto ids = IdAssignment::identity(4);
+  const SmmProtocol broken = smmArbitrary(Choice::Successor);
+  CentralDaemonRunner<PointerState> runner(broken, g, ids,
+                                           CentralPolicy::Random, 5);
+  std::vector<PointerState> states(4);
+  const auto result = runner.run(states, 10000);
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_TRUE(checkMatchingFixpoint(g, states).ok());
+}
+
+}  // namespace
+}  // namespace selfstab::core

@@ -1,0 +1,116 @@
+// The Synchronized<> daemon-refinement wrapper (paper reference [16]):
+// central-daemon algorithms made safe for the synchronous model via
+// per-round randomized neighborhood locks.
+#include "core/local_mutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/verifiers.hpp"
+#include "core/smm.hpp"
+#include "engine/fault.hpp"
+#include "engine/sync_runner.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::core {
+namespace {
+
+using analysis::checkMatchingFixpoint;
+using engine::SyncRunner;
+using graph::Graph;
+using graph::IdAssignment;
+
+TEST(Synchronized, NameWrapsInnerName) {
+  const Synchronized<SmmProtocol> wrapped(Choice::First, Choice::First);
+  EXPECT_EQ(wrapped.name(), "synchronized[smm(propose=first,accept=first)]");
+}
+
+TEST(Synchronized, MakesTheC4CounterexampleStabilize) {
+  // Unwrapped, successor-choice SMM cycles forever on C4 (see
+  // test_hsu_huang.cpp). The lock wrapper serializes neighborhoods, so the
+  // central-daemon correctness of the rules carries over.
+  const Graph g = graph::cycle(4);
+  const auto ids = IdAssignment::identity(4);
+  const Synchronized<SmmProtocol> wrapped(Choice::Successor, Choice::First);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    SyncRunner<PointerState> runner(wrapped, g, ids, seed);
+    std::vector<PointerState> states(4);
+    const auto result = runner.run(states, 1000);
+    ASSERT_TRUE(result.stabilized) << "seed " << seed;
+    EXPECT_TRUE(checkMatchingFixpoint(g, states).ok()) << "seed " << seed;
+  }
+}
+
+TEST(Synchronized, MoversFormAnIndependentSetEveryRound) {
+  graph::Rng rng(47);
+  const Graph g = graph::connectedErdosRenyi(25, 0.15, rng);
+  const auto ids = IdAssignment::identity(25);
+  const Synchronized<SmmProtocol> wrapped(Choice::First, Choice::First);
+  SyncRunner<PointerState> runner(wrapped, g, ids, 7);
+  auto states = engine::randomConfiguration<PointerState>(
+      g, rng, randomPointerState);
+  const auto result = runner.run(
+      states, 5000,
+      [&](std::size_t, const std::vector<PointerState>& before,
+          const std::vector<PointerState>& after, std::size_t) {
+        std::vector<graph::Vertex> movers;
+        for (graph::Vertex v = 0; v < before.size(); ++v) {
+          if (!(before[v] == after[v])) movers.push_back(v);
+        }
+        EXPECT_TRUE(analysis::isIndependentSet(g, movers));
+      });
+  ASSERT_TRUE(result.stabilized);
+}
+
+TEST(Synchronized, ConvergesOnRandomGraphsFromRandomStates) {
+  graph::Rng rng(53);
+  const Synchronized<SmmProtocol> wrapped(Choice::First, Choice::First);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = graph::connectedErdosRenyi(20, 0.15, rng);
+    const auto ids = IdAssignment::identity(20);
+    auto states = engine::randomConfiguration<PointerState>(
+        g, rng, randomPointerState);
+    SyncRunner<PointerState> runner(wrapped, g, ids, trial);
+    const auto result = runner.run(states, 5000);
+    ASSERT_TRUE(result.stabilized) << "trial " << trial;
+    EXPECT_TRUE(checkMatchingFixpoint(g, states).ok()) << "trial " << trial;
+  }
+}
+
+TEST(Synchronized, IsSlowerThanNativeSmm) {
+  // The paper's motivation for designing SMM directly: the transformed
+  // protocol "is not as fast". Compare average rounds over seeds.
+  graph::Rng rng(59);
+  const Graph g = graph::connectedErdosRenyi(40, 0.1, rng);
+  const auto ids = IdAssignment::identity(40);
+  const SmmProtocol native = smmPaper();
+  const Synchronized<SmmProtocol> transformed(Choice::First, Choice::First);
+
+  double nativeRounds = 0;
+  double transformedRounds = 0;
+  constexpr int kTrials = 10;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto states = engine::randomConfiguration<PointerState>(
+        g, rng, randomPointerState);
+    auto statesCopy = states;
+
+    SyncRunner<PointerState> a(native, g, ids, trial);
+    const auto ra = a.run(states, 10000);
+    ASSERT_TRUE(ra.stabilized);
+    nativeRounds += static_cast<double>(ra.rounds);
+
+    SyncRunner<PointerState> b(transformed, g, ids, trial);
+    const auto rb = b.run(statesCopy, 10000);
+    ASSERT_TRUE(rb.stabilized);
+    transformedRounds += static_cast<double>(rb.rounds);
+  }
+  EXPECT_GT(transformedRounds, nativeRounds);
+}
+
+TEST(Synchronized, InitialStateDelegatesToInner) {
+  const Synchronized<SmmProtocol> wrapped(Choice::MinId, Choice::MinId);
+  EXPECT_TRUE(wrapped.initialState(3).isNull());
+  EXPECT_EQ(wrapped.inner().proposePolicy(), Choice::MinId);
+}
+
+}  // namespace
+}  // namespace selfstab::core

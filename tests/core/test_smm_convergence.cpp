@@ -1,0 +1,166 @@
+// Convergence of Algorithm SMM under the synchronous model:
+// Theorem 1 (at most n+1 rounds) and Lemma 8 (maximal matching at fixpoint),
+// swept across graph families, sizes, and ID orders.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "analysis/verifiers.hpp"
+#include "core/smm.hpp"
+#include "engine/fault.hpp"
+#include "engine/sync_runner.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::core {
+namespace {
+
+using analysis::checkMatchingFixpoint;
+using engine::RunResult;
+using engine::SyncRunner;
+using graph::Graph;
+using graph::IdAssignment;
+
+struct FamilyCase {
+  std::string label;
+  std::function<Graph(std::size_t, graph::Rng&)> make;
+};
+
+class SmmFamilyConvergence
+    : public ::testing::TestWithParam<std::tuple<FamilyCase, std::size_t>> {};
+
+TEST_P(SmmFamilyConvergence, StabilizesWithinTheoremBoundToMaximalMatching) {
+  const auto& [family, n] = GetParam();
+  graph::Rng rng(hashCombine(n, 0xfeedULL));
+  const Graph g = family.make(n, rng);
+  const SmmProtocol smm = smmPaper();
+
+  // Sweep ID orders: identity, reversed, and two random permutations.
+  std::vector<IdAssignment> orders;
+  orders.push_back(IdAssignment::identity(g.order()));
+  orders.push_back(IdAssignment::reversed(g.order()));
+  graph::Rng idRng(n);
+  orders.push_back(IdAssignment::randomPermutation(g.order(), idRng));
+  orders.push_back(IdAssignment::randomSparse(g.order(), idRng));
+
+  for (std::size_t o = 0; o < orders.size(); ++o) {
+    SyncRunner<PointerState> runner(smm, g, orders[o]);
+    auto states = runner.initialStates();
+    const RunResult result = runner.run(states, g.order() + 2);
+    EXPECT_TRUE(result.stabilized) << family.label << " order " << o;
+    EXPECT_LE(result.rounds, g.order() + 1) << family.label << " order " << o;
+    EXPECT_TRUE(checkMatchingFixpoint(g, states).ok())
+        << family.label << " order " << o;
+  }
+}
+
+const FamilyCase kFamilies[] = {
+    {"path", [](std::size_t n, graph::Rng&) { return graph::path(n); }},
+    {"cycle", [](std::size_t n, graph::Rng&) { return graph::cycle(n); }},
+    {"complete", [](std::size_t n, graph::Rng&) { return graph::complete(n); }},
+    {"star", [](std::size_t n, graph::Rng&) { return graph::star(n); }},
+    {"bintree",
+     [](std::size_t n, graph::Rng&) { return graph::binaryTree(n); }},
+    {"grid",
+     [](std::size_t n, graph::Rng&) { return graph::grid(n / 4 + 1, 4); }},
+    {"gnp",
+     [](std::size_t n, graph::Rng& rng) {
+       return graph::connectedErdosRenyi(n, 0.15, rng);
+     }},
+    {"udg",
+     [](std::size_t n, graph::Rng& rng) {
+       return graph::connectedRandomGeometric(n, 0.35, rng);
+     }},
+};
+
+std::string caseName(
+    const ::testing::TestParamInfo<std::tuple<FamilyCase, std::size_t>>&
+        info) {
+  return std::get<0>(info.param).label + "_n" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, SmmFamilyConvergence,
+    ::testing::Combine(::testing::ValuesIn(kFamilies),
+                       ::testing::Values<std::size_t>(4, 9, 16, 33, 64)),
+    caseName);
+
+TEST(SmmConvergence, FromRandomTypeCorrectStates) {
+  graph::Rng rng(11);
+  const SmmProtocol smm = smmPaper();
+  for (int trial = 0; trial < 50; ++trial) {
+    const Graph g = graph::connectedErdosRenyi(24, 0.12, rng);
+    const auto ids = IdAssignment::identity(24);
+    auto states = engine::randomConfiguration<PointerState>(
+        g, rng, randomPointerState);
+    SyncRunner<PointerState> runner(smm, g, ids);
+    const RunResult result = runner.run(states, g.order() + 2);
+    EXPECT_TRUE(result.stabilized) << "trial " << trial;
+    EXPECT_LE(result.rounds, g.order() + 1) << "trial " << trial;
+    EXPECT_TRUE(checkMatchingFixpoint(g, states).ok()) << "trial " << trial;
+  }
+}
+
+TEST(SmmConvergence, FromWildCorruptedStates) {
+  // Pointers may reference arbitrary vertices (or self) after corruption;
+  // the hygiene reading of R3 must clean them up and still stabilize fast.
+  graph::Rng rng(13);
+  const SmmProtocol smm = smmPaper();
+  for (int trial = 0; trial < 50; ++trial) {
+    const Graph g = graph::connectedErdosRenyi(20, 0.15, rng);
+    const auto ids = IdAssignment::identity(20);
+    auto states =
+        engine::randomConfiguration<PointerState>(g, rng, wildPointerState);
+    SyncRunner<PointerState> runner(smm, g, ids);
+    // One extra round for the initial cleanup sweep.
+    const RunResult result = runner.run(states, g.order() + 3);
+    EXPECT_TRUE(result.stabilized) << "trial " << trial;
+    EXPECT_TRUE(checkMatchingFixpoint(g, states).ok()) << "trial " << trial;
+  }
+}
+
+TEST(SmmConvergence, EdgelessGraphIsImmediatelyStable) {
+  const Graph g(5);
+  const auto ids = IdAssignment::identity(5);
+  const SmmProtocol smm = smmPaper();
+  SyncRunner<PointerState> runner(smm, g, ids);
+  auto states = runner.initialStates();
+  const RunResult result = runner.run(states, 10);
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(SmmConvergence, SingleEdgeMatchesInTwoRounds) {
+  const Graph g = graph::path(2);
+  const auto ids = IdAssignment::identity(2);
+  const SmmProtocol smm = smmPaper();
+  SyncRunner<PointerState> runner(smm, g, ids);
+  auto states = runner.initialStates();
+  const RunResult result = runner.run(states, 10);
+  EXPECT_TRUE(result.stabilized);
+  // Round 1: both propose to each other (mutual min) -> matched at once.
+  EXPECT_LE(result.rounds, 2u);
+  EXPECT_EQ(states[0].ptr, 1u);
+  EXPECT_EQ(states[1].ptr, 0u);
+}
+
+TEST(SmmConvergence, AcceptPolicyDoesNotAffectTheBound) {
+  // The proofs are independent of the R1 choice; verify for all policies.
+  graph::Rng rng(17);
+  const Graph g = graph::connectedErdosRenyi(30, 0.1, rng);
+  const auto ids = IdAssignment::identity(30);
+  for (const Choice accept :
+       {Choice::MinId, Choice::MaxId, Choice::First, Choice::Random}) {
+    const SmmProtocol smm(Choice::MinId, accept);
+    SyncRunner<PointerState> runner(smm, g, ids, /*runSeed=*/99);
+    auto states = runner.initialStates();
+    const RunResult result = runner.run(states, g.order() + 2);
+    EXPECT_TRUE(result.stabilized) << toString(accept);
+    EXPECT_LE(result.rounds, g.order() + 1) << toString(accept);
+    EXPECT_TRUE(checkMatchingFixpoint(g, states).ok()) << toString(accept);
+  }
+}
+
+}  // namespace
+}  // namespace selfstab::core

@@ -1,0 +1,204 @@
+// Rule-level tests of Algorithm SMM (paper Figure 1): each test pins one
+// guard/action combination against a hand-built local configuration.
+#include "core/smm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/view_builder.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::core {
+namespace {
+
+using engine::ViewBuilder;
+using graph::Graph;
+using graph::IdAssignment;
+using graph::kNoVertex;
+
+class SmmRules : public ::testing::Test {
+ protected:
+  // Star with center 0 and leaves 1..4: center sees several neighbors.
+  Graph g_ = graph::star(5);
+  IdAssignment ids_ = IdAssignment::identity(5);
+  ViewBuilder<PointerState> builder_{g_, ids_};
+  SmmProtocol smm_ = smmPaper();
+};
+
+TEST_F(SmmRules, R1AcceptsProposal) {
+  // Leaf 2 points at center 0; center is null -> center accepts 2.
+  std::vector<PointerState> states(5);
+  states[2].ptr = 0;
+  const auto move = smm_.onRound(builder_.build(0, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->ptr, 2u);
+}
+
+TEST_F(SmmRules, R1PrefersMinIdProposerByDefault) {
+  std::vector<PointerState> states(5);
+  states[3].ptr = 0;
+  states[1].ptr = 0;
+  states[4].ptr = 0;
+  const auto move = smm_.onRound(builder_.build(0, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->ptr, 1u);
+}
+
+TEST_F(SmmRules, R1HasPriorityOverR2) {
+  // Center both has a proposer (3) and a null neighbor (1): must accept,
+  // not propose (R2's guard requires no proposers).
+  std::vector<PointerState> states(5);
+  states[3].ptr = 0;
+  const auto move = smm_.onRound(builder_.build(0, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->ptr, 3u);
+}
+
+TEST_F(SmmRules, R2ProposesToMinIdNullNeighbor) {
+  // All leaves null; center null and unproposed-to: proposes to leaf 1.
+  const std::vector<PointerState> states(5);
+  const auto move = smm_.onRound(builder_.build(0, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->ptr, 1u);
+}
+
+TEST_F(SmmRules, R2SkipsNonNullNeighbors) {
+  // Leaves 1 and 2 point elsewhere (at center), so... make 1,2 point at 0?
+  // That would trigger R1. Instead have leaf 1 non-null toward 0? A leaf's
+  // only neighbor is 0. Use a path graph for this case instead.
+  const Graph path = graph::path(4);  // 0-1-2-3
+  const IdAssignment ids = IdAssignment::identity(4);
+  ViewBuilder<PointerState> builder(path, ids);
+  std::vector<PointerState> states(4);
+  states[0].ptr = 1;  // 0 proposes to 1
+  // Node 1: has proposer 0 -> R1 fires, accepts 0 (min id proposer).
+  const auto move = smm_.onRound(builder.build(1, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->ptr, 0u);
+}
+
+TEST_F(SmmRules, R2BlockedWhenNoNullNeighbor) {
+  // Path 0-1-2: node 2 points at 1; node 1 points at 2 (matched);
+  // node 0 is null, nobody points at it, and its only neighbor is non-null.
+  const Graph path = graph::path(3);
+  const IdAssignment ids = IdAssignment::identity(3);
+  ViewBuilder<PointerState> builder(path, ids);
+  std::vector<PointerState> states(3);
+  states[1].ptr = 2;
+  states[2].ptr = 1;
+  EXPECT_FALSE(smm_.onRound(builder.build(0, states)).has_value());
+}
+
+TEST_F(SmmRules, R3BacksOffWhenTargetPointsElsewhere) {
+  // Path 0-1-2: 0 points at 1, but 1 points at 2.
+  const Graph path = graph::path(3);
+  const IdAssignment ids = IdAssignment::identity(3);
+  ViewBuilder<PointerState> builder(path, ids);
+  std::vector<PointerState> states(3);
+  states[0].ptr = 1;
+  states[1].ptr = 2;
+  states[2].ptr = 1;
+  const auto move = smm_.onRound(builder.build(0, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_TRUE(move->isNull());
+}
+
+TEST_F(SmmRules, MatchedPairIsStable) {
+  const Graph path = graph::path(3);
+  const IdAssignment ids = IdAssignment::identity(3);
+  ViewBuilder<PointerState> builder(path, ids);
+  std::vector<PointerState> states(3);
+  states[0].ptr = 1;
+  states[1].ptr = 0;
+  EXPECT_FALSE(smm_.onRound(builder.build(0, states)).has_value());
+  EXPECT_FALSE(smm_.onRound(builder.build(1, states)).has_value());
+}
+
+TEST_F(SmmRules, PointingAtAloofNodeWaits) {
+  // 0 points at null 1: 0 must not move (no rule applies to it).
+  const Graph path = graph::path(3);
+  const IdAssignment ids = IdAssignment::identity(3);
+  ViewBuilder<PointerState> builder(path, ids);
+  std::vector<PointerState> states(3);
+  states[0].ptr = 1;
+  EXPECT_FALSE(smm_.onRound(builder.build(0, states)).has_value());
+}
+
+TEST_F(SmmRules, DanglingPointerResets) {
+  // Node 1 points at 3, but on the path 0-1-2 vertex 3 is not its neighbor
+  // (link lost to mobility / corrupted state): the hygiene reading of R3.
+  const Graph path = graph::path(3);
+  const IdAssignment ids = IdAssignment::identity(3);
+  ViewBuilder<PointerState> builder(path, ids);
+  std::vector<PointerState> states(3);
+  states[1].ptr = 3;  // wild value: not a neighbor at all
+  const auto move = smm_.onRound(builder.build(1, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_TRUE(move->isNull());
+}
+
+TEST_F(SmmRules, IsolatedNullNodeIsStable) {
+  const Graph lone(1);
+  const IdAssignment ids = IdAssignment::identity(1);
+  ViewBuilder<PointerState> builder(lone, ids);
+  const std::vector<PointerState> states(1);
+  EXPECT_FALSE(smm_.onRound(builder.build(0, states)).has_value());
+}
+
+TEST_F(SmmRules, MinIdUsesIdsNotVertexIndices) {
+  // Reversed IDs on the star: vertex 4 has ID 0, so R2 proposes to vertex 4.
+  const IdAssignment reversed = IdAssignment::reversed(5);
+  ViewBuilder<PointerState> builder(g_, reversed);
+  const std::vector<PointerState> states(5);
+  const auto move = smm_.onRound(builder.build(0, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->ptr, 4u);
+}
+
+TEST_F(SmmRules, MaxIdAcceptPolicy) {
+  const SmmProtocol smm(Choice::MinId, Choice::MaxId);
+  std::vector<PointerState> states(5);
+  states[1].ptr = 0;
+  states[3].ptr = 0;
+  const auto move = smm.onRound(builder_.build(0, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->ptr, 3u);
+}
+
+TEST_F(SmmRules, FirstPolicyTakesAdjacencyOrder) {
+  const SmmProtocol smm(Choice::First, Choice::First);
+  const std::vector<PointerState> states(5);
+  const auto move = smm.onRound(builder_.build(0, states));
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->ptr, 1u);  // first neighbor in vertex order
+}
+
+TEST_F(SmmRules, SuccessorPolicyIsClockwiseOnCycle) {
+  const Graph c4 = graph::cycle(4);
+  const IdAssignment ids = IdAssignment::identity(4);
+  ViewBuilder<PointerState> builder(c4, ids);
+  const SmmProtocol smm = smmArbitrary(Choice::Successor);
+  const std::vector<PointerState> states(4);
+  for (graph::Vertex v = 0; v < 4; ++v) {
+    const auto move = smm.onRound(builder.build(v, states));
+    ASSERT_TRUE(move.has_value());
+    EXPECT_EQ(move->ptr, (v + 1) % 4) << "node " << v;
+  }
+}
+
+TEST_F(SmmRules, RandomPolicyIsDeterministicPerRoundKey) {
+  const SmmProtocol smm(Choice::Random, Choice::Random);
+  const std::vector<PointerState> states(5);
+  const auto a = smm.onRound(builder_.build(0, states, /*roundKey=*/77));
+  const auto b = smm.onRound(builder_.build(0, states, /*roundKey=*/77));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->ptr, b->ptr);
+}
+
+TEST_F(SmmRules, ProtocolNameReflectsPolicies) {
+  EXPECT_EQ(smmPaper().name(), "smm(propose=min-id,accept=min-id)");
+  EXPECT_EQ(hsuHuang().name(), "smm(propose=first,accept=first)");
+}
+
+}  // namespace
+}  // namespace selfstab::core

@@ -1,0 +1,144 @@
+#include "engine/daemons.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/test_protocols.hpp"
+#include "analysis/verifiers.hpp"
+#include "core/smm.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::engine {
+namespace {
+
+using analysis::checkMatchingFixpoint;
+using core::PointerState;
+using core::SmmProtocol;
+using graph::Graph;
+using graph::IdAssignment;
+using testing::MaxProtocol;
+using testing::ValueState;
+
+TEST(CentralDaemon, MaxProtocolConvergesUnderEveryPolicy) {
+  graph::Rng rng(1);
+  const Graph g = graph::connectedErdosRenyi(15, 0.2, rng);
+  const auto ids = IdAssignment::identity(15);
+  MaxProtocol protocol;
+  for (const CentralPolicy policy :
+       {CentralPolicy::Random, CentralPolicy::MinId, CentralPolicy::MaxId,
+        CentralPolicy::RoundRobin}) {
+    CentralDaemonRunner<ValueState> runner(protocol, g, ids, policy, 42);
+    std::vector<ValueState> states;
+    for (graph::Vertex v = 0; v < 15; ++v) {
+      states.push_back(protocol.initialState(v));
+    }
+    const DaemonResult result = runner.run(states, 10000);
+    EXPECT_TRUE(result.stabilized) << "policy " << static_cast<int>(policy);
+    for (const ValueState& s : states) EXPECT_EQ(s.value, 14u);
+  }
+}
+
+TEST(CentralDaemon, HsuHuangProducesMaximalMatching) {
+  graph::Rng rng(2);
+  const Graph g = graph::connectedErdosRenyi(20, 0.15, rng);
+  const auto ids = IdAssignment::identity(20);
+  const SmmProtocol protocol = core::hsuHuang();
+  CentralDaemonRunner<PointerState> runner(protocol, g, ids,
+                                           CentralPolicy::Random, 7);
+  std::vector<PointerState> states(20);
+  const DaemonResult result = runner.run(states, 100000);
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_TRUE(checkMatchingFixpoint(g, states).ok());
+}
+
+TEST(CentralDaemon, StepReturnsFalseAtFixpoint) {
+  const Graph g = graph::path(3);
+  const auto ids = IdAssignment::identity(3);
+  MaxProtocol protocol;
+  CentralDaemonRunner<ValueState> runner(protocol, g, ids,
+                                         CentralPolicy::Random, 1);
+  std::vector<ValueState> states(3, ValueState{5});
+  EXPECT_FALSE(runner.step(states));
+}
+
+TEST(CentralDaemon, MinIdPolicyPicksSmallestEnabled) {
+  // Path 0-1-2 with values 0,1,2: nodes 0 and 1 are enabled.
+  const Graph g = graph::path(3);
+  const auto ids = IdAssignment::identity(3);
+  MaxProtocol protocol;
+  CentralDaemonRunner<ValueState> runner(protocol, g, ids,
+                                         CentralPolicy::MinId, 1);
+  std::vector<ValueState> states{{0}, {1}, {2}};
+  ASSERT_TRUE(runner.step(states));
+  EXPECT_EQ(states[0].value, 1u);  // node 0 moved
+  EXPECT_EQ(states[1].value, 1u);  // node 1 did not
+}
+
+TEST(CentralDaemon, MaxIdPolicyPicksLargestEnabled) {
+  const Graph g = graph::path(3);
+  const auto ids = IdAssignment::identity(3);
+  MaxProtocol protocol;
+  CentralDaemonRunner<ValueState> runner(protocol, g, ids,
+                                         CentralPolicy::MaxId, 1);
+  std::vector<ValueState> states{{0}, {1}, {2}};
+  ASSERT_TRUE(runner.step(states));
+  EXPECT_EQ(states[1].value, 2u);  // node 1 moved
+  EXPECT_EQ(states[0].value, 0u);
+}
+
+TEST(CentralDaemon, RoundRobinIsFair) {
+  // Blinker on an edgeless graph: every node always enabled; round-robin
+  // must cycle through all of them.
+  const Graph g(4);
+  const auto ids = IdAssignment::identity(4);
+  testing::BlinkerProtocol protocol;
+  CentralDaemonRunner<ValueState> runner(protocol, g, ids,
+                                         CentralPolicy::RoundRobin, 1);
+  std::vector<ValueState> states(4, ValueState{0});
+  for (int step = 0; step < 4; ++step) ASSERT_TRUE(runner.step(states));
+  for (const ValueState& s : states) EXPECT_EQ(s.value, 1u);
+}
+
+TEST(CentralDaemon, AdversarialStillTerminatesOnHsuHuang) {
+  // Hsu & Huang stabilizes under *any* central daemon; the adversary that
+  // greedily minimizes the matched count can delay but not prevent it.
+  const Graph g = graph::cycle(8);
+  const auto ids = IdAssignment::identity(8);
+  const SmmProtocol protocol = core::hsuHuang();
+  CentralDaemonRunner<PointerState> runner(protocol, g, ids,
+                                           CentralPolicy::Adversarial, 3);
+  runner.setPotential([&](const std::vector<PointerState>& states) {
+    return static_cast<double>(analysis::matchedEdges(g, states).size());
+  });
+  std::vector<PointerState> states(8);
+  const DaemonResult result = runner.run(states, 100000);
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_TRUE(checkMatchingFixpoint(g, states).ok());
+}
+
+TEST(DistributedDaemon, MaxProtocolConverges) {
+  graph::Rng rng(3);
+  const Graph g = graph::connectedErdosRenyi(15, 0.2, rng);
+  const auto ids = IdAssignment::identity(15);
+  MaxProtocol protocol;
+  DistributedDaemonRunner<ValueState> runner(protocol, g, ids, 0.5, 9);
+  std::vector<ValueState> states;
+  for (graph::Vertex v = 0; v < 15; ++v) {
+    states.push_back(protocol.initialState(v));
+  }
+  const DaemonResult result = runner.run(states, 10000);
+  EXPECT_TRUE(result.stabilized);
+  for (const ValueState& s : states) EXPECT_EQ(s.value, 14u);
+}
+
+TEST(DistributedDaemon, AlwaysMovesAtLeastOneNode) {
+  const Graph g = graph::path(2);
+  const auto ids = IdAssignment::identity(2);
+  MaxProtocol protocol;
+  // moveProbability 0: the forced pick keeps the daemon live.
+  DistributedDaemonRunner<ValueState> runner(protocol, g, ids, 0.0, 5);
+  std::vector<ValueState> states{{0}, {1}};
+  EXPECT_EQ(runner.step(states), 1u);
+}
+
+}  // namespace
+}  // namespace selfstab::engine

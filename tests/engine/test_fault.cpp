@@ -1,0 +1,101 @@
+#include "engine/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../support/test_protocols.hpp"
+#include "core/matching_state.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::engine {
+namespace {
+
+using core::PointerState;
+using core::randomPointerState;
+using graph::Graph;
+using testing::ValueState;
+
+TEST(RandomConfiguration, SamplesEveryVertex) {
+  const Graph g = graph::cycle(10);
+  Rng rng(1);
+  const auto states = randomConfiguration<PointerState>(
+      g, rng, [](graph::Vertex v, const Graph& gg, Rng& r) {
+        return randomPointerState(v, gg, r);
+      });
+  ASSERT_EQ(states.size(), 10u);
+  for (graph::Vertex v = 0; v < 10; ++v) {
+    const PointerState& s = states[v];
+    EXPECT_TRUE(s.isNull() || g.hasEdge(v, s.ptr));
+  }
+}
+
+TEST(CorruptConfiguration, FractionZeroChangesNothing) {
+  const Graph g = graph::path(8);
+  Rng rng(2);
+  std::vector<ValueState> states(8, ValueState{7});
+  const auto original = states;
+  const std::size_t corrupted = corruptConfiguration(
+      states, g, rng, 0.0,
+      [](graph::Vertex, const Graph&, Rng& r) { return ValueState{r.next()}; });
+  EXPECT_EQ(corrupted, 0u);
+  EXPECT_EQ(states, original);
+}
+
+TEST(CorruptConfiguration, FractionOneHitsEveryone) {
+  const Graph g = graph::path(8);
+  Rng rng(3);
+  std::vector<ValueState> states(8, ValueState{7});
+  const std::size_t corrupted = corruptConfiguration(
+      states, g, rng, 1.0,
+      [](graph::Vertex, const Graph&, Rng& r) { return ValueState{r.next()}; });
+  EXPECT_EQ(corrupted, 8u);
+}
+
+TEST(EnumerateConfigurations, VisitsFullProduct) {
+  std::vector<std::vector<int>> candidates{{0, 1}, {0, 1, 2}, {5}};
+  EXPECT_EQ(configurationCount(candidates), 6u);
+  std::set<std::vector<int>> seen;
+  enumerateConfigurations(candidates, [&](const std::vector<int>& config) {
+    seen.insert(config);
+  });
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_TRUE(seen.count({1, 2, 5}));
+  EXPECT_TRUE(seen.count({0, 0, 5}));
+}
+
+TEST(EnumerateConfigurations, EmptyCandidateListProducesNothing) {
+  std::vector<std::vector<int>> candidates{{0, 1}, {}};
+  int calls = 0;
+  enumerateConfigurations(candidates,
+                          [&](const std::vector<int>&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(PerturbTopology, TogglesRequestedCount) {
+  Graph g = graph::complete(6);
+  Rng rng(4);
+  const std::size_t before = g.size();
+  const std::size_t applied = perturbTopology(g, rng, 5, false);
+  EXPECT_EQ(applied, 5u);
+  EXPECT_NE(g.size(), before);  // complete graph: all toggles are removals
+}
+
+TEST(PerturbTopology, KeepConnectedPreservesConnectivity) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g = graph::randomTree(12, rng);  // trees: every removal disconnects
+    perturbTopology(g, rng, 10, true);
+    EXPECT_TRUE(graph::isConnected(g));
+  }
+}
+
+TEST(PerturbTopology, TinyGraphIsNoop) {
+  Graph g(1);
+  Rng rng(6);
+  EXPECT_EQ(perturbTopology(g, rng, 5, true), 0u);
+}
+
+}  // namespace
+}  // namespace selfstab::engine

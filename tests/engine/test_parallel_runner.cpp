@@ -1,0 +1,136 @@
+#include "engine/parallel_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/test_protocols.hpp"
+#include "analysis/verifiers.hpp"
+#include "core/local_mutex.hpp"
+#include "core/sis.hpp"
+#include "core/smm.hpp"
+#include "engine/fault.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::engine {
+namespace {
+
+using core::BitState;
+using core::PointerState;
+using graph::Graph;
+using graph::IdAssignment;
+using testing::MaxProtocol;
+using testing::ValueState;
+
+TEST(ParallelRunner, StepMatchesSerialExactly) {
+  graph::Rng rng(601);
+  const Graph g = graph::connectedErdosRenyi(64, 0.1, rng);
+  const auto ids = IdAssignment::identity(64);
+  const core::SmmProtocol smm = core::smmPaper();
+
+  auto serialStates = engine::randomConfiguration<PointerState>(
+      g, rng, core::randomPointerState);
+  auto parallelStates = serialStates;
+
+  SyncRunner<PointerState> serial(smm, g, ids, /*runSeed=*/5);
+  ParallelSyncRunner<PointerState> parallel(smm, g, ids, /*threads=*/4,
+                                            /*runSeed=*/5);
+  for (int r = 0; r < 10; ++r) {
+    const std::size_t serialMoves = serial.step(serialStates);
+    const std::size_t parallelMoves = parallel.step(parallelStates);
+    EXPECT_EQ(parallelMoves, serialMoves) << "round " << r;
+    EXPECT_EQ(parallelStates, serialStates) << "round " << r;
+  }
+}
+
+TEST(ParallelRunner, RunMatchesSerialForSeveralProtocols) {
+  graph::Rng rng(603);
+  const Graph g = graph::connectedErdosRenyi(80, 0.08, rng);
+  const auto ids = IdAssignment::identity(80);
+
+  {
+    const core::SmmProtocol smm = core::smmPaper();
+    auto a = engine::randomConfiguration<PointerState>(
+        g, rng, core::randomPointerState);
+    auto b = a;
+    SyncRunner<PointerState> serial(smm, g, ids);
+    ParallelSyncRunner<PointerState> parallel(smm, g, ids, 3);
+    const auto ra = serial.run(a, 200);
+    const auto rb = parallel.run(b, 200);
+    EXPECT_EQ(ra, rb);
+    EXPECT_EQ(a, b);
+    EXPECT_TRUE(analysis::checkMatchingFixpoint(g, b).ok());
+  }
+  {
+    const core::SisProtocol sis;
+    auto a = engine::randomConfiguration<BitState>(g, rng,
+                                                   core::randomBitState);
+    auto b = a;
+    SyncRunner<BitState> serial(sis, g, ids);
+    ParallelSyncRunner<BitState> parallel(sis, g, ids, 5);
+    EXPECT_EQ(serial.run(a, 200), parallel.run(b, 200));
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(ParallelRunner, ThreadCountSweepIsInvariant) {
+  graph::Rng rng(605);
+  const Graph g = graph::connectedErdosRenyi(48, 0.12, rng);
+  const auto ids = IdAssignment::identity(48);
+  const core::SmmProtocol smm = core::smmPaper();
+  const auto start = engine::randomConfiguration<PointerState>(
+      g, rng, core::randomPointerState);
+
+  std::vector<PointerState> reference;
+  for (const std::size_t threads : {1u, 2u, 3u, 7u, 16u}) {
+    auto states = start;
+    ParallelSyncRunner<PointerState> runner(smm, g, ids, threads);
+    const auto result = runner.run(states, 100);
+    ASSERT_TRUE(result.stabilized) << threads << " threads";
+    if (reference.empty()) {
+      reference = states;
+    } else {
+      EXPECT_EQ(states, reference) << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelRunner, MoreThreadsThanVerticesIsFine) {
+  const Graph g = graph::path(3);
+  const auto ids = IdAssignment::identity(3);
+  MaxProtocol protocol;
+  ParallelSyncRunner<ValueState> runner(protocol, g, ids, 8);
+  std::vector<ValueState> states{{0}, {1}, {2}};
+  const auto result = runner.run(states, 10);
+  EXPECT_TRUE(result.stabilized);
+  for (const ValueState& s : states) EXPECT_EQ(s.value, 2u);
+}
+
+TEST(ParallelRunner, ZeroThreadRequestClampsToOne) {
+  const Graph g = graph::path(4);
+  const auto ids = IdAssignment::identity(4);
+  MaxProtocol protocol;
+  ParallelSyncRunner<ValueState> runner(protocol, g, ids, 0);
+  EXPECT_EQ(runner.threadCount(), 1u);
+  std::vector<ValueState> states{{3}, {0}, {0}, {0}};
+  EXPECT_TRUE(runner.run(states, 10).stabilized);
+  EXPECT_EQ(states[3].value, 3u);
+}
+
+TEST(ParallelRunner, FixpointDetectionUsesIsStable) {
+  // A wrapped (randomized) protocol: the parallel runner must not mistake
+  // an all-blocked round for stabilization. (Synchronized has no mutable
+  // scratch state, so it is safe to evaluate concurrently.)
+  graph::Rng rng(607);
+  const Graph g = graph::cycle(12);
+  const auto ids = IdAssignment::identity(12);
+  const core::Synchronized<core::SmmProtocol> wrapped(core::Choice::First,
+                                                      core::Choice::First);
+  auto states = engine::randomConfiguration<PointerState>(
+      g, rng, core::randomPointerState);
+  ParallelSyncRunner<PointerState> runner(wrapped, g, ids, 4, 9);
+  const auto result = runner.run(states, 5000);
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_TRUE(analysis::checkMatchingFixpoint(g, states).ok());
+}
+
+}  // namespace
+}  // namespace selfstab::engine

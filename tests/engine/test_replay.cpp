@@ -1,0 +1,100 @@
+#include "engine/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/local_mutex.hpp"
+#include "core/sis.hpp"
+#include "core/smm.hpp"
+#include "engine/fault.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::engine {
+namespace {
+
+using core::BitState;
+using core::PointerState;
+using graph::Graph;
+using graph::IdAssignment;
+
+TEST(Replay, ReproducesTheRecordedTrajectory) {
+  graph::Rng rng(501);
+  const Graph g = graph::connectedErdosRenyi(20, 0.15, rng);
+  const auto ids = IdAssignment::identity(20);
+  const core::SmmProtocol smm = core::smmPaper();
+
+  auto states = engine::randomConfiguration<PointerState>(
+      g, rng, core::randomPointerState);
+  const auto recording = recordRun(smm, g, ids, states, 30);
+  ASSERT_TRUE(recording.result.stabilized);
+
+  auto replayed = recording.initialStates;
+  const std::size_t applied =
+      replaySchedule(smm, g, ids, replayed, recording.schedule);
+  EXPECT_EQ(replayed, states);
+  EXPECT_EQ(applied, recording.result.totalMoves);
+}
+
+TEST(Replay, ScheduleLengthMatchesProductiveRounds) {
+  const Graph g = graph::path(10);
+  const auto ids = IdAssignment::identity(10);
+  const core::SisProtocol sis;
+  std::vector<BitState> states(10);
+  const auto recording = recordRun(sis, g, ids, states, 20);
+  ASSERT_TRUE(recording.result.stabilized);
+  EXPECT_EQ(recording.schedule.size(), recording.result.rounds);
+  for (const auto& movers : recording.schedule) {
+    EXPECT_FALSE(movers.empty());
+  }
+}
+
+TEST(Replay, RandomizedWrapperReplaysWithSameSeed) {
+  graph::Rng rng(503);
+  const Graph g = graph::connectedErdosRenyi(15, 0.2, rng);
+  const auto ids = IdAssignment::identity(15);
+  const core::Synchronized<core::SmmProtocol> wrapped(core::Choice::First,
+                                                      core::Choice::First);
+  auto states = engine::randomConfiguration<PointerState>(
+      g, rng, core::randomPointerState);
+  const auto recording = recordRun(wrapped, g, ids, states, 5000,
+                                   /*runSeed=*/77);
+  ASSERT_TRUE(recording.result.stabilized);
+
+  auto replayed = recording.initialStates;
+  replaySchedule(wrapped, g, ids, replayed, recording.schedule,
+                 /*runSeed=*/77);
+  EXPECT_EQ(replayed, states);
+}
+
+TEST(Replay, TruncatedScheduleGivesPrefixConfiguration) {
+  const Graph g = graph::path(12);
+  const auto ids = IdAssignment::identity(12);
+  const core::SmmProtocol smm = core::smmPaper();
+  std::vector<PointerState> states(12);
+  const auto recording = recordRun(smm, g, ids, states, 20);
+  ASSERT_GE(recording.schedule.size(), 2u);
+
+  // Replaying the first k rounds must equal stepping the runner k times.
+  Schedule prefix(recording.schedule.begin(),
+                  recording.schedule.begin() + 2);
+  auto viaReplay = recording.initialStates;
+  replaySchedule(smm, g, ids, viaReplay, prefix);
+
+  auto viaRunner = recording.initialStates;
+  SyncRunner<PointerState> runner(smm, g, ids);
+  runner.step(viaRunner);
+  runner.step(viaRunner);
+  EXPECT_EQ(viaReplay, viaRunner);
+}
+
+TEST(Replay, EmptyScheduleIsNoop) {
+  const Graph g = graph::path(5);
+  const auto ids = IdAssignment::identity(5);
+  const core::SmmProtocol smm = core::smmPaper();
+  std::vector<PointerState> states(5);
+  const auto original = states;
+  EXPECT_EQ(replaySchedule(smm, g, ids, states, Schedule{}), 0u);
+  EXPECT_EQ(states, original);
+}
+
+}  // namespace
+}  // namespace selfstab::engine

@@ -1,0 +1,136 @@
+#include "engine/sync_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/test_protocols.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::engine {
+namespace {
+
+using graph::Graph;
+using graph::IdAssignment;
+using testing::BlinkerProtocol;
+using testing::CounterProtocol;
+using testing::MaxProtocol;
+using testing::ValueState;
+
+TEST(SyncRunner, InitialStatesComeFromProtocol) {
+  const Graph g = graph::path(4);
+  const auto ids = IdAssignment::identity(4);
+  MaxProtocol protocol;
+  SyncRunner<ValueState> runner(protocol, g, ids);
+  const auto states = runner.initialStates();
+  ASSERT_EQ(states.size(), 4u);
+  for (graph::Vertex v = 0; v < 4; ++v) EXPECT_EQ(states[v].value, v);
+}
+
+TEST(SyncRunner, StepMovesAllEnabledSimultaneously) {
+  const Graph g = graph::path(3);  // values 0-1-2
+  const auto ids = IdAssignment::identity(3);
+  MaxProtocol protocol;
+  SyncRunner<ValueState> runner(protocol, g, ids);
+  auto states = runner.initialStates();
+  // Round 1: node 0 takes 1 (its neighbor's old value), node 1 takes 2.
+  EXPECT_EQ(runner.step(states), 2u);
+  EXPECT_EQ(states[0].value, 1u);  // snapshot semantics: not 2
+  EXPECT_EQ(states[1].value, 2u);
+  EXPECT_EQ(states[2].value, 2u);
+}
+
+TEST(SyncRunner, MaxConvergesWithinDiameterRounds) {
+  graph::Rng rng(1);
+  const Graph g = graph::connectedErdosRenyi(30, 0.1, rng);
+  const auto ids = IdAssignment::identity(30);
+  MaxProtocol protocol;
+  SyncRunner<ValueState> runner(protocol, g, ids);
+  auto states = runner.initialStates();
+  const RunResult result = runner.run(states, 100);
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_LE(result.rounds, graph::diameter(g));
+  for (const ValueState& s : states) EXPECT_EQ(s.value, 29u);
+}
+
+TEST(SyncRunner, FixpointDetectedImmediately) {
+  const Graph g = graph::path(5);
+  const auto ids = IdAssignment::identity(5);
+  MaxProtocol protocol;
+  SyncRunner<ValueState> runner(protocol, g, ids);
+  std::vector<ValueState> states(5, ValueState{7});  // already uniform
+  EXPECT_TRUE(runner.isFixpoint(states));
+  const RunResult result = runner.run(states, 100);
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_EQ(result.rounds, 0u);
+  EXPECT_EQ(result.totalMoves, 0u);
+}
+
+TEST(SyncRunner, BudgetExhaustionReported) {
+  const Graph g = graph::path(2);
+  const auto ids = IdAssignment::identity(2);
+  BlinkerProtocol protocol;
+  SyncRunner<ValueState> runner(protocol, g, ids);
+  std::vector<ValueState> states(2, ValueState{0});
+  const RunResult result = runner.run(states, 10);
+  EXPECT_FALSE(result.stabilized);
+  EXPECT_EQ(result.rounds, 10u);
+  EXPECT_EQ(result.totalMoves, 20u);
+}
+
+TEST(SyncRunner, ObserverSeesEveryRound) {
+  const Graph g = graph::path(4);
+  const auto ids = IdAssignment::identity(4);
+  MaxProtocol protocol;
+  SyncRunner<ValueState> runner(protocol, g, ids);
+  auto states = runner.initialStates();
+  std::size_t calls = 0;
+  std::size_t observedMoves = 0;
+  const RunResult result = runner.run(
+      states, 100,
+      [&](std::size_t round, const std::vector<ValueState>& before,
+          const std::vector<ValueState>& after, std::size_t moves) {
+        EXPECT_EQ(round, calls);
+        EXPECT_EQ(before.size(), 4u);
+        EXPECT_EQ(after.size(), 4u);
+        ++calls;
+        observedMoves += moves;
+      });
+  // Observer also sees the final zero-move verification round.
+  EXPECT_EQ(calls, result.rounds + 1);
+  EXPECT_EQ(observedMoves, result.totalMoves);
+}
+
+TEST(SyncRunner, EnabledVerticesMatchesMoves) {
+  const Graph g = graph::path(3);
+  const auto ids = IdAssignment::identity(3);
+  MaxProtocol protocol;
+  SyncRunner<ValueState> runner(protocol, g, ids);
+  auto states = runner.initialStates();
+  const auto enabled = runner.enabledVertices(states);
+  const std::vector<graph::Vertex> expected{0, 1};
+  EXPECT_EQ(enabled, expected);
+}
+
+TEST(SyncRunner, RoundKeysDifferAcrossRoundsAndSeeds) {
+  const Graph g = graph::path(2);
+  const auto ids = IdAssignment::identity(2);
+  MaxProtocol protocol;
+  SyncRunner<ValueState> a(protocol, g, ids, 1);
+  SyncRunner<ValueState> b(protocol, g, ids, 2);
+  EXPECT_NE(a.roundKey(0), a.roundKey(1));
+  EXPECT_NE(a.roundKey(0), b.roundKey(0));
+}
+
+TEST(RunFromClean, ReturnsFinalStates) {
+  const Graph g = graph::cycle(6);
+  const auto ids = IdAssignment::identity(6);
+  MaxProtocol protocol;
+  std::vector<ValueState> finalStates;
+  const RunResult result = runFromClean(protocol, g, ids, 100, &finalStates);
+  EXPECT_TRUE(result.stabilized);
+  ASSERT_EQ(finalStates.size(), 6u);
+  for (const ValueState& s : finalStates) EXPECT_EQ(s.value, 5u);
+}
+
+}  // namespace
+}  // namespace selfstab::engine

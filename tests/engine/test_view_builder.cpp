@@ -1,0 +1,77 @@
+#include "engine/view_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/test_protocols.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::engine {
+namespace {
+
+using graph::Graph;
+using graph::IdAssignment;
+using testing::ValueState;
+
+TEST(ViewBuilder, ViewCarriesSelfAndNeighbors) {
+  const Graph g = graph::star(4);
+  const auto ids = IdAssignment::reversed(4);  // vertex v has ID 3-v
+  ViewBuilder<ValueState> builder(g, ids);
+  const std::vector<ValueState> states{{10}, {11}, {12}, {13}};
+
+  const auto view = builder.build(0, states, /*roundKey=*/55);
+  EXPECT_EQ(view.self, 0u);
+  EXPECT_EQ(view.selfId, 3u);
+  EXPECT_EQ(view.state().value, 10u);
+  EXPECT_EQ(view.roundKey, 55u);
+  ASSERT_EQ(view.neighbors.size(), 3u);
+  // Neighbors in increasing vertex order, carrying their IDs and states.
+  EXPECT_EQ(view.neighbors[0].vertex, 1u);
+  EXPECT_EQ(view.neighbors[0].id, 2u);
+  EXPECT_EQ(view.neighbors[0].state->value, 11u);
+  EXPECT_EQ(view.neighbors[2].vertex, 3u);
+  EXPECT_EQ(view.neighbors[2].id, 0u);
+}
+
+TEST(ViewBuilder, LeafSeesOnlyTheCenter) {
+  const Graph g = graph::star(4);
+  const auto ids = IdAssignment::identity(4);
+  ViewBuilder<ValueState> builder(g, ids);
+  const std::vector<ValueState> states(4);
+  const auto view = builder.build(2, states);
+  ASSERT_EQ(view.neighbors.size(), 1u);
+  EXPECT_EQ(view.neighbors[0].vertex, 0u);
+}
+
+TEST(ViewBuilder, FindLocatesNeighborsOnly) {
+  const Graph g = graph::path(3);
+  const auto ids = IdAssignment::identity(3);
+  ViewBuilder<ValueState> builder(g, ids);
+  const std::vector<ValueState> states(3);
+  const auto view = builder.build(1, states);
+  EXPECT_NE(view.find(0), nullptr);
+  EXPECT_NE(view.find(2), nullptr);
+  EXPECT_EQ(view.find(1), nullptr);   // self is not a neighbor
+  EXPECT_EQ(view.find(99), nullptr);  // nonexistent
+}
+
+TEST(ViewBuilder, IsolatedVertexHasEmptyView) {
+  const Graph g(2);
+  const auto ids = IdAssignment::identity(2);
+  ViewBuilder<ValueState> builder(g, ids);
+  const std::vector<ValueState> states(2);
+  const auto view = builder.build(0, states);
+  EXPECT_TRUE(view.neighbors.empty());
+}
+
+TEST(ViewBuilder, ReflectsGraphMutation) {
+  Graph g = graph::path(3);
+  const auto ids = IdAssignment::identity(3);
+  ViewBuilder<ValueState> builder(g, ids);
+  const std::vector<ValueState> states(3);
+  EXPECT_EQ(builder.build(0, states).neighbors.size(), 1u);
+  g.addEdge(0, 2);
+  EXPECT_EQ(builder.build(0, states).neighbors.size(), 2u);
+}
+
+}  // namespace
+}  // namespace selfstab::engine

@@ -1,0 +1,106 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace selfstab::graph {
+namespace {
+
+TEST(BfsDistances, OnPath) {
+  const Graph g = path(5);
+  const auto dist = bfsDistances(g, 0);
+  for (std::size_t v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(BfsDistances, UnreachableMarked) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  const auto dist = bfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Connectivity, BasicCases) {
+  EXPECT_TRUE(isConnected(Graph(0)));
+  EXPECT_TRUE(isConnected(Graph(1)));
+  EXPECT_FALSE(isConnected(Graph(2)));
+  EXPECT_TRUE(isConnected(path(10)));
+  EXPECT_TRUE(isConnected(cycle(10)));
+}
+
+TEST(Connectivity, ComponentCount) {
+  Graph g(6);
+  g.addEdge(0, 1);
+  g.addEdge(2, 3);
+  g.addEdge(3, 4);
+  EXPECT_EQ(componentCount(g), 3u);  // {0,1}, {2,3,4}, {5}
+  const auto comp = connectedComponents(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[5], comp[0]);
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(path(10)), 9u);
+  EXPECT_EQ(diameter(cycle(10)), 5u);
+  EXPECT_EQ(diameter(complete(10)), 1u);
+  EXPECT_EQ(diameter(star(10)), 2u);
+  EXPECT_EQ(diameter(hypercube(5)), 5u);
+}
+
+TEST(Diameter, DisconnectedIsUnreachable) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  EXPECT_EQ(diameter(g), kUnreachable);
+}
+
+TEST(Bipartite, KnownFamilies) {
+  EXPECT_TRUE(isBipartite(path(7)));
+  EXPECT_TRUE(isBipartite(cycle(8)));
+  EXPECT_FALSE(isBipartite(cycle(7)));
+  EXPECT_FALSE(isBipartite(complete(3)));
+  EXPECT_TRUE(isBipartite(completeBipartite(4, 5)));
+  EXPECT_TRUE(isBipartite(Graph(3)));  // edgeless
+}
+
+TEST(Degeneracy, KnownValues) {
+  EXPECT_EQ(degeneracyOrder(path(10)).degeneracy, 1u);
+  EXPECT_EQ(degeneracyOrder(cycle(10)).degeneracy, 2u);
+  EXPECT_EQ(degeneracyOrder(complete(6)).degeneracy, 5u);
+  EXPECT_EQ(degeneracyOrder(star(10)).degeneracy, 1u);
+  EXPECT_EQ(degeneracyOrder(grid(4, 4)).degeneracy, 2u);
+}
+
+TEST(Degeneracy, OrderIsPermutation) {
+  const Graph g = grid(3, 3);
+  const auto result = degeneracyOrder(g);
+  ASSERT_EQ(result.order.size(), 9u);
+  std::vector<bool> seen(9, false);
+  for (const Vertex v : result.order) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Triangles, KnownValues) {
+  EXPECT_EQ(triangleCount(complete(4)), 4u);
+  EXPECT_EQ(triangleCount(complete(5)), 10u);
+  EXPECT_EQ(triangleCount(cycle(5)), 0u);
+  EXPECT_EQ(triangleCount(path(10)), 0u);
+  EXPECT_EQ(triangleCount(completeBipartite(3, 3)), 0u);
+}
+
+TEST(Triangles, SingleTriangle) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(0, 2);
+  g.addEdge(2, 3);
+  EXPECT_EQ(triangleCount(g), 1u);
+}
+
+}  // namespace
+}  // namespace selfstab::graph

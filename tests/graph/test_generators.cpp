@@ -1,0 +1,190 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+
+namespace selfstab::graph {
+namespace {
+
+TEST(Generators, Path) {
+  const Graph g = path(5);
+  EXPECT_EQ(g.order(), 5u);
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_TRUE(isConnected(g));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(Generators, SingletonAndEmptyPath) {
+  EXPECT_EQ(path(1).size(), 0u);
+  EXPECT_EQ(path(0).order(), 0u);
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = cycle(6);
+  EXPECT_EQ(g.size(), 6u);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.hasEdge(5, 0));
+}
+
+TEST(Generators, Complete) {
+  const Graph g = complete(7);
+  EXPECT_EQ(g.size(), 21u);
+  EXPECT_EQ(g.minDegree(), 6u);
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = completeBipartite(3, 4);
+  EXPECT_EQ(g.order(), 7u);
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_TRUE(isBipartite(g));
+  EXPECT_FALSE(g.hasEdge(0, 1));  // same side
+  EXPECT_TRUE(g.hasEdge(0, 3));
+}
+
+TEST(Generators, Star) {
+  const Graph g = star(6);
+  EXPECT_EQ(g.size(), 5u);
+  EXPECT_EQ(g.degree(0), 5u);
+  EXPECT_EQ(g.maxDegree(), 5u);
+  EXPECT_EQ(g.minDegree(), 1u);
+}
+
+TEST(Generators, Grid) {
+  const Graph g = grid(3, 4);
+  EXPECT_EQ(g.order(), 12u);
+  // Edges: 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8.
+  EXPECT_EQ(g.size(), 17u);
+  EXPECT_TRUE(isConnected(g));
+  EXPECT_TRUE(isBipartite(g));
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(g.order(), 16u);
+  EXPECT_EQ(g.size(), 32u);  // d * 2^(d-1)
+  for (Vertex v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(isBipartite(g));
+}
+
+TEST(Generators, BinaryTree) {
+  const Graph g = binaryTree(15);
+  EXPECT_EQ(g.size(), 14u);
+  EXPECT_TRUE(isConnected(g));
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = randomTree(40, rng);
+    EXPECT_EQ(g.size(), 39u);
+    EXPECT_TRUE(isConnected(g));
+  }
+}
+
+TEST(Generators, Caterpillar) {
+  const Graph g = caterpillar(4, 2);
+  EXPECT_EQ(g.order(), 12u);
+  EXPECT_EQ(g.size(), 11u);
+  EXPECT_TRUE(isConnected(g));
+}
+
+TEST(Generators, Wheel) {
+  const Graph g = wheel(7);  // hub + C6
+  EXPECT_EQ(g.order(), 7u);
+  EXPECT_EQ(g.size(), 12u);  // 6 spokes + 6 rim edges
+  EXPECT_EQ(g.degree(0), 6u);
+  for (Vertex v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_TRUE(g.hasEdge(6, 1));  // rim wraps
+}
+
+TEST(Generators, Petersen) {
+  const Graph g = petersen();
+  EXPECT_EQ(g.order(), 10u);
+  EXPECT_EQ(g.size(), 15u);
+  for (Vertex v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_EQ(triangleCount(g), 0u);  // girth 5
+  EXPECT_FALSE(isBipartite(g));
+  EXPECT_EQ(diameter(g), 2u);
+}
+
+TEST(Generators, Barbell) {
+  const Graph g = barbell(4, 2);
+  EXPECT_EQ(g.order(), 10u);
+  // 2 * C(4,2) + path edges (3) = 12 + 3.
+  EXPECT_EQ(g.size(), 15u);
+  EXPECT_TRUE(isConnected(g));
+
+  const Graph direct = barbell(3, 0);  // cliques joined by one edge
+  EXPECT_EQ(direct.order(), 6u);
+  EXPECT_EQ(direct.size(), 7u);
+  EXPECT_TRUE(direct.hasEdge(2, 3));
+}
+
+TEST(Generators, Lollipop) {
+  const Graph g = lollipop(5, 3);
+  EXPECT_EQ(g.order(), 8u);
+  EXPECT_EQ(g.size(), 13u);  // C(5,2) + 3
+  EXPECT_TRUE(isConnected(g));
+  EXPECT_EQ(g.degree(7), 1u);  // tail end
+}
+
+TEST(Generators, RandomRegularIsRegular) {
+  Rng rng(8);
+  for (const std::size_t d : {2u, 3u, 4u}) {
+    const Graph g = randomRegular(20, d, rng);
+    EXPECT_EQ(g.order(), 20u);
+    EXPECT_EQ(g.size(), 20u * d / 2);
+    for (Vertex v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), d) << "d=" << d;
+  }
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+  Rng rng(2);
+  EXPECT_EQ(erdosRenyi(10, 0.0, rng).size(), 0u);
+  EXPECT_EQ(erdosRenyi(10, 1.0, rng).size(), 45u);
+}
+
+TEST(Generators, ErdosRenyiDensityRoughlyP) {
+  Rng rng(3);
+  const Graph g = erdosRenyi(100, 0.3, rng);
+  const double maxEdges = 100.0 * 99.0 / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.size()) / maxEdges, 0.3, 0.05);
+}
+
+TEST(Generators, ConnectedErdosRenyiIsConnected) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = connectedErdosRenyi(30, 0.02, rng);
+    EXPECT_TRUE(isConnected(g));
+  }
+}
+
+TEST(Generators, RandomGeometricReturnsPoints) {
+  Rng rng(5);
+  std::vector<Point> pts;
+  const Graph g = randomGeometric(25, 0.3, rng, &pts);
+  EXPECT_EQ(pts.size(), 25u);
+  EXPECT_EQ(g, unitDiskGraph(pts, 0.3));
+}
+
+TEST(Generators, ConnectedRandomGeometricIsConnected) {
+  Rng rng(6);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = connectedRandomGeometric(30, 0.3, rng);
+    EXPECT_TRUE(isConnected(g));
+  }
+}
+
+TEST(Generators, ConnectedRandomGeometricFallbackStillConnected) {
+  Rng rng(7);
+  // Tiny radius: the unit-disk graph is essentially never connected, forcing
+  // the spanning-tree fallback.
+  const Graph g = connectedRandomGeometric(20, 0.01, rng, nullptr, 2);
+  EXPECT_TRUE(isConnected(g));
+}
+
+}  // namespace
+}  // namespace selfstab::graph

@@ -1,0 +1,48 @@
+#include "graph/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace selfstab::graph {
+namespace {
+
+TEST(Geometry, DistanceBasics) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(squaredDistance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Geometry, RandomPointsInUnitSquare) {
+  Rng rng(1);
+  const auto pts = randomPoints(200, rng);
+  ASSERT_EQ(pts.size(), 200u);
+  for (const Point& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 1.0);
+  }
+}
+
+TEST(Geometry, UnitDiskGraphEdgesMatchRadius) {
+  const std::vector<Point> pts{{0.0, 0.0}, {0.2, 0.0}, {0.5, 0.0}};
+  const Graph g = unitDiskGraph(pts, 0.25);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_FALSE(g.hasEdge(0, 2));
+  EXPECT_FALSE(g.hasEdge(1, 2));
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(Geometry, UnitDiskRadiusIsInclusive) {
+  const std::vector<Point> pts{{0.0, 0.0}, {0.25, 0.0}};
+  const Graph g = unitDiskGraph(pts, 0.25);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+}
+
+TEST(Geometry, FullRadiusGivesCompleteGraph) {
+  Rng rng(2);
+  const auto pts = randomPoints(20, rng);
+  const Graph g = unitDiskGraph(pts, 2.0);  // > diagonal of unit square
+  EXPECT_EQ(g.size(), 20u * 19u / 2);
+}
+
+}  // namespace
+}  // namespace selfstab::graph

@@ -1,0 +1,96 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace selfstab::graph {
+namespace {
+
+TEST(EdgeListIo, RoundTrip) {
+  Rng rng(1);
+  const Graph original = connectedErdosRenyi(20, 0.2, rng);
+  std::stringstream ss;
+  writeEdgeList(ss, original);
+  const Graph parsed = readEdgeList(ss);
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(EdgeListIo, EmptyGraphRoundTrip) {
+  std::stringstream ss;
+  writeEdgeList(ss, Graph(4));
+  const Graph parsed = readEdgeList(ss);
+  EXPECT_EQ(parsed.order(), 4u);
+  EXPECT_EQ(parsed.size(), 0u);
+}
+
+TEST(EdgeListIo, RejectsTruncatedInput) {
+  std::stringstream ss("3 2\n0 1\n");
+  EXPECT_THROW(readEdgeList(ss), ParseError);
+}
+
+TEST(EdgeListIo, RejectsOutOfRangeEndpoint) {
+  std::stringstream ss("3 1\n0 7\n");
+  EXPECT_THROW(readEdgeList(ss), ParseError);
+}
+
+TEST(EdgeListIo, RejectsSelfLoop) {
+  std::stringstream ss("3 1\n1 1\n");
+  EXPECT_THROW(readEdgeList(ss), ParseError);
+}
+
+TEST(EdgeListIo, RejectsDuplicateEdge) {
+  std::stringstream ss("3 2\n0 1\n1 0\n");
+  EXPECT_THROW(readEdgeList(ss), ParseError);
+}
+
+TEST(EdgeListIo, RejectsMissingHeader) {
+  std::stringstream ss("");
+  EXPECT_THROW(readEdgeList(ss), ParseError);
+}
+
+TEST(DimacsIo, RoundTrip) {
+  Rng rng(2);
+  const Graph original = connectedErdosRenyi(15, 0.3, rng);
+  std::stringstream ss;
+  writeDimacs(ss, original);
+  const Graph parsed = readDimacs(ss);
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(DimacsIo, SkipsComments) {
+  std::stringstream ss("c a comment\np edge 3 1\nc another\ne 1 2\n");
+  const Graph g = readDimacs(ss);
+  EXPECT_EQ(g.order(), 3u);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+}
+
+TEST(DimacsIo, RejectsEdgeBeforeHeader) {
+  std::stringstream ss("e 1 2\np edge 3 1\n");
+  EXPECT_THROW(readDimacs(ss), ParseError);
+}
+
+TEST(DimacsIo, RejectsCountMismatch) {
+  std::stringstream ss("p edge 3 2\ne 1 2\n");
+  EXPECT_THROW(readDimacs(ss), ParseError);
+}
+
+TEST(DimacsIo, RejectsZeroBasedVertex) {
+  std::stringstream ss("p edge 3 1\ne 0 2\n");
+  EXPECT_THROW(readDimacs(ss), ParseError);
+}
+
+TEST(DotOutput, ContainsAllEdges) {
+  const Graph g = path(3);
+  std::stringstream ss;
+  writeDot(ss, g, "P3");
+  const std::string dot = ss.str();
+  EXPECT_NE(dot.find("graph P3 {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace selfstab::graph

@@ -1,0 +1,154 @@
+#include "graph/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace selfstab {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Mix64, InjectiveOnSmallSample) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 10000; ++x) outputs.insert(mix64(x));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.range(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    sawLo |= (x == -3);
+    sawHi |= (x == 3);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, RangeHandlesExtremeBounds) {
+  Rng rng(7);
+  constexpr auto kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+  for (int i = 0; i < 1000; ++i) {
+    // Full span: every value is legal; just must not trap/overflow.
+    (void)rng.range(kMin, kMax);
+    const auto nearMax = rng.range(kMax - 3, kMax);
+    EXPECT_GE(nearMax, kMax - 3);
+    const auto nearMin = rng.range(kMin, kMin + 3);
+    EXPECT_LE(nearMin, kMin + 3);
+    EXPECT_GE(nearMin, kMin);
+  }
+}
+
+TEST(Rng, PickReturnsContainedElement) {
+  Rng rng(31);
+  const std::vector<int> items{10, 20, 30};
+  std::array<int, 3> seen{};
+  for (int i = 0; i < 300; ++i) {
+    const int& x = rng.pick(std::span<const int>(items));
+    ASSERT_TRUE(x == 10 || x == 20 || x == 30);
+    ++seen[static_cast<std::size_t>(x / 10 - 1)];
+  }
+  for (const int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(Rng, RealInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, RealMeanIsRoughlyHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.real();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(19);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(23);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(29);
+  std::array<int, 8> buckets{};
+  constexpr int kSamples = 80000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++buckets[rng.below(8)];
+  }
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, kSamples / 8, kSamples / 80);
+  }
+}
+
+}  // namespace
+}  // namespace selfstab

@@ -1,0 +1,135 @@
+// Fidelity: the discrete-event beacon simulator and the abstract synchronous
+// engine run the *same* Protocol objects and must agree on the outcomes —
+// same predicates at quiescence, comparable convergence in rounds.
+#include <gtest/gtest.h>
+
+#include "adhoc/network.hpp"
+#include "analysis/verifiers.hpp"
+#include "core/sis.hpp"
+#include "core/smm.hpp"
+#include "engine/sync_runner.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab {
+namespace {
+
+using adhoc::NetworkConfig;
+using adhoc::NetworkSimulator;
+using adhoc::StaticPlacement;
+using core::BitState;
+using core::PointerState;
+using graph::Graph;
+using graph::IdAssignment;
+
+struct Deployment {
+  std::vector<graph::Point> points;
+  Graph g;
+};
+
+Deployment makeDeployment(std::size_t n, double radius, std::uint64_t seed) {
+  graph::Rng rng(seed);
+  Deployment d;
+  d.g = graph::connectedRandomGeometric(n, radius, rng, &d.points);
+  return d;
+}
+
+TEST(BeaconVsAbstract, SameMatchingPredicateAtQuiescence) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    NetworkConfig config;
+    config.seed = seed;
+    const auto deployment = makeDeployment(18, config.radius, seed);
+    const auto ids = IdAssignment::identity(18);
+    const core::SmmProtocol smm = core::smmPaper();
+
+    // Abstract engine on the same topology.
+    std::vector<PointerState> abstractStates;
+    ASSERT_TRUE(engine::runFromClean(smm, deployment.g, ids, 100,
+                                     &abstractStates)
+                    .stabilized);
+    ASSERT_TRUE(
+        analysis::checkMatchingFixpoint(deployment.g, abstractStates).ok());
+
+    // Beacon simulator.
+    StaticPlacement mobility(deployment.points);
+    NetworkSimulator<PointerState> sim(smm, ids, mobility, config);
+    const auto result = sim.runUntilQuiet(5 * config.beaconInterval,
+                                          2000 * config.beaconInterval);
+    ASSERT_TRUE(result.quiet) << "seed " << seed;
+    EXPECT_TRUE(
+        analysis::checkMatchingFixpoint(deployment.g, sim.states()).ok())
+        << "seed " << seed;
+  }
+}
+
+TEST(BeaconVsAbstract, BeaconRoundsAreSameOrderAsAbstractRounds) {
+  // The paper's round = one beacon interval. The event-driven execution is
+  // only approximately synchronous (jitter, phase offsets), so allow a
+  // constant-factor envelope plus the quiet-detection window.
+  NetworkConfig config;
+  config.seed = 99;
+  const auto deployment = makeDeployment(24, config.radius, 21);
+  const auto ids = IdAssignment::identity(24);
+  const core::SmmProtocol smm = core::smmPaper();
+
+  std::vector<PointerState> abstractStates;
+  const auto abstractResult =
+      engine::runFromClean(smm, deployment.g, ids, 100, &abstractStates);
+  ASSERT_TRUE(abstractResult.stabilized);
+
+  StaticPlacement mobility(deployment.points);
+  NetworkSimulator<PointerState> sim(smm, ids, mobility, config);
+  const adhoc::SimTime quietWindow = 5 * config.beaconInterval;
+  const auto result =
+      sim.runUntilQuiet(quietWindow, 2000 * config.beaconInterval);
+  ASSERT_TRUE(result.quiet);
+
+  const double beaconRounds =
+      static_cast<double>(sim.lastMoveTime()) /
+      static_cast<double>(config.beaconInterval);
+  const double abstractRounds = static_cast<double>(abstractResult.rounds);
+  // Same order of magnitude: within [0, 4x + 5] of the abstract count.
+  EXPECT_LE(beaconRounds, 4.0 * abstractRounds + 5.0);
+}
+
+TEST(BeaconVsAbstract, SisAgreesOnMisPredicate) {
+  for (std::uint64_t seed = 11; seed <= 15; ++seed) {
+    NetworkConfig config;
+    config.seed = seed;
+    const auto deployment = makeDeployment(20, config.radius, seed);
+    const auto ids = IdAssignment::identity(20);
+    const core::SisProtocol sis;
+
+    std::vector<BitState> abstractStates;
+    ASSERT_TRUE(
+        engine::runFromClean(sis, deployment.g, ids, 100, &abstractStates)
+            .stabilized);
+
+    StaticPlacement mobility(deployment.points);
+    NetworkSimulator<BitState> sim(sis, ids, mobility, config);
+    const auto result = sim.runUntilQuiet(5 * config.beaconInterval,
+                                          2000 * config.beaconInterval);
+    ASSERT_TRUE(result.quiet) << "seed " << seed;
+    EXPECT_TRUE(analysis::isMaximalIndependentSet(
+        deployment.g, analysis::membersOf(sim.states())))
+        << "seed " << seed;
+  }
+}
+
+TEST(BeaconVsAbstract, MessageCountMatchesBeaconBudget) {
+  // Beacons are periodic regardless of protocol activity: the send count
+  // over T seconds must be close to n * T / beaconInterval.
+  NetworkConfig config;
+  config.seed = 7;
+  config.jitterFraction = 0.0;
+  const auto deployment = makeDeployment(10, config.radius, 31);
+  const auto ids = IdAssignment::identity(10);
+  const core::SisProtocol sis;
+  StaticPlacement mobility(deployment.points);
+  NetworkSimulator<BitState> sim(sis, ids, mobility, config);
+  sim.run(100 * config.beaconInterval);
+  EXPECT_NEAR(static_cast<double>(sim.stats().beaconsSent), 10.0 * 100.0,
+              15.0);
+}
+
+}  // namespace
+}  // namespace selfstab

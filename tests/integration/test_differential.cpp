@@ -1,0 +1,167 @@
+// Differential testing: several of the protocols have *unique* fixpoints
+// characterized by simple sequential algorithms, so the distributed run can
+// be checked against an independent implementation bit-for-bit.
+//
+//   * SIS: a configuration is stable iff x(i) = [no bigger neighbor with
+//     x=1], and that recurrence has exactly one solution — the greedy MIS in
+//     decreasing ID order. So SIS must land on that set from EVERY start.
+//   * Grundy coloring: same argument; unique fixpoint = greedy coloring in
+//     decreasing ID order.
+//   * BFS tree: unique fixpoint = BFS distances + min-ID parents (already
+//     covered by the verifier; here we add cross-protocol agreement).
+//   * SMM: the fixpoint is NOT unique, but under a central daemon the same
+//     rules (Hsu-Huang) must land in the same *predicate* class.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/baselines.hpp"
+#include "analysis/verifiers.hpp"
+#include "core/coloring.hpp"
+#include "core/sis.hpp"
+#include "core/smm.hpp"
+#include "engine/fault.hpp"
+#include "engine/sync_runner.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab {
+namespace {
+
+using core::BitState;
+using core::ColorState;
+using engine::SyncRunner;
+using graph::Graph;
+using graph::IdAssignment;
+using graph::Vertex;
+
+// Sequential reference: greedy MIS scanning vertices in decreasing ID order.
+std::vector<Vertex> greedyMisByDescendingId(const Graph& g,
+                                            const IdAssignment& ids) {
+  std::vector<Vertex> order(g.order());
+  for (Vertex v = 0; v < g.order(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(),
+            [&](Vertex a, Vertex b) { return ids.less(b, a); });
+  return analysis::greedyMaximalIndependentSet(g, order);
+}
+
+// Sequential reference: greedy coloring in decreasing ID order, each vertex
+// taking the mex of its already-colored (i.e. bigger) neighbors.
+std::vector<std::uint32_t> greedyColoringByDescendingId(
+    const Graph& g, const IdAssignment& ids) {
+  std::vector<Vertex> order(g.order());
+  for (Vertex v = 0; v < g.order(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(),
+            [&](Vertex a, Vertex b) { return ids.less(b, a); });
+  std::vector<std::uint32_t> color(g.order(), 0);
+  std::vector<bool> done(g.order(), false);
+  for (const Vertex v : order) {
+    std::vector<bool> used(g.degree(v) + 1, false);
+    for (const Vertex w : g.neighbors(v)) {
+      if (done[w] && color[w] < used.size()) used[color[w]] = true;
+    }
+    std::uint32_t c = 0;
+    while (c < used.size() && used[c]) ++c;
+    color[v] = c;
+    done[v] = true;
+  }
+  return color;
+}
+
+TEST(Differential, SisFixpointEqualsGreedyDescendingMisFromAnyStart) {
+  graph::Rng rng(401);
+  const core::SisProtocol sis;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph g = graph::connectedErdosRenyi(25, 0.15, rng);
+    graph::Rng idRng(trial);
+    const IdAssignment ids =
+        IdAssignment::randomSparse(g.order(), idRng);
+    const auto expected = greedyMisByDescendingId(g, ids);
+
+    // Three very different starting configurations.
+    for (int start = 0; start < 3; ++start) {
+      std::vector<BitState> states(g.order());
+      if (start == 1) {
+        states.assign(g.order(), BitState{true});
+      } else if (start == 2) {
+        states = engine::randomConfiguration<BitState>(
+            g, rng, core::randomBitState);
+      }
+      SyncRunner<BitState> runner(sis, g, ids);
+      ASSERT_TRUE(runner.run(states, g.order() + 1).stabilized);
+      EXPECT_EQ(analysis::membersOf(states), expected)
+          << "trial " << trial << " start " << start;
+    }
+  }
+}
+
+TEST(Differential, ColoringFixpointEqualsGreedyDescendingColoring) {
+  graph::Rng rng(403);
+  const core::ColoringProtocol coloring;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph g = graph::connectedErdosRenyi(22, 0.18, rng);
+    graph::Rng idRng(trial + 50);
+    const IdAssignment ids = IdAssignment::randomSparse(g.order(), idRng);
+    const auto expected = greedyColoringByDescendingId(g, ids);
+
+    auto states = engine::randomConfiguration<ColorState>(
+        g, rng, core::randomColorState);
+    SyncRunner<ColorState> runner(coloring, g, ids);
+    ASSERT_TRUE(runner.run(states, g.order() + 1).stabilized);
+    for (Vertex v = 0; v < g.order(); ++v) {
+      EXPECT_EQ(states[v].color, expected[v]) << "trial " << trial
+                                              << " vertex " << v;
+    }
+  }
+}
+
+TEST(Differential, SisUniquenessMakesItOrderInsensitiveInOutcome) {
+  // Corollary worth pinning: the SIS result depends only on (graph, IDs),
+  // never on the execution history. Re-running with different fault bursts
+  // mid-way must land on the same set.
+  graph::Rng rng(405);
+  const core::SisProtocol sis;
+  const Graph g = graph::connectedErdosRenyi(30, 0.12, rng);
+  const IdAssignment ids = IdAssignment::identity(g.order());
+
+  std::vector<BitState> reference(g.order());
+  SyncRunner<BitState> refRunner(sis, g, ids);
+  ASSERT_TRUE(refRunner.run(reference, g.order() + 1).stabilized);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<BitState> states(g.order());
+    SyncRunner<BitState> runner(sis, g, ids);
+    // Run a few rounds, inject a fault burst, then finish.
+    for (int r = 0; r < 3; ++r) runner.step(states);
+    engine::corruptConfiguration(states, g, rng, 0.3, core::randomBitState);
+    ASSERT_TRUE(runner.run(states, g.order() + 1).stabilized);
+    EXPECT_EQ(states, reference) << "trial " << trial;
+  }
+}
+
+TEST(Differential, SmmFixpointsVaryButPredicateClassAgrees) {
+  // SMM's fixpoint is schedule- and start-dependent; what is invariant is
+  // the predicate (maximal matching) and the 2-approximation band. Document
+  // both by finding two starts with different final matchings.
+  graph::Rng rng(407);
+  const core::SmmProtocol smm = core::smmPaper();
+  const Graph g = graph::cycle(8);
+  const IdAssignment ids = IdAssignment::identity(8);
+
+  std::vector<std::vector<core::PointerState>> finals;
+  for (int trial = 0; trial < 10; ++trial) {
+    auto states = engine::randomConfiguration<core::PointerState>(
+        g, rng, core::randomPointerState);
+    SyncRunner<core::PointerState> runner(smm, g, ids);
+    ASSERT_TRUE(runner.run(states, 12).stabilized);
+    ASSERT_TRUE(analysis::checkMatchingFixpoint(g, states).ok());
+    finals.push_back(std::move(states));
+  }
+  bool anyDifferent = false;
+  for (std::size_t i = 1; i < finals.size(); ++i) {
+    anyDifferent |= !(finals[i] == finals[0]);
+  }
+  EXPECT_TRUE(anyDifferent);  // multiple legitimate fixpoints exist
+}
+
+}  // namespace
+}  // namespace selfstab

@@ -1,0 +1,155 @@
+// The fault-tolerance story of Sections 1-2: the protocols detect link
+// failures / creations (mobility) and transient state corruption, and
+// re-stabilize. Exercised through the abstract engine with explicit
+// topology perturbation and state corruption.
+#include <gtest/gtest.h>
+
+#include "analysis/verifiers.hpp"
+#include "core/sis.hpp"
+#include "core/smm.hpp"
+#include "engine/fault.hpp"
+#include "engine/sync_runner.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab {
+namespace {
+
+using core::BitState;
+using core::PointerState;
+using engine::SyncRunner;
+using graph::Graph;
+using graph::IdAssignment;
+
+TEST(FaultRecovery, SmmRestabilizesAfterTopologyChurn) {
+  graph::Rng rng(301);
+  const core::SmmProtocol smm = core::smmPaper();
+  for (int trial = 0; trial < 15; ++trial) {
+    Graph g = graph::connectedErdosRenyi(24, 0.15, rng);
+    const auto ids = IdAssignment::identity(24);
+    std::vector<PointerState> states;
+    ASSERT_TRUE(engine::runFromClean(smm, g, ids, 100, &states).stabilized);
+
+    // Mobility event: a burst of link creations/failures.
+    engine::perturbTopology(g, rng, 6, /*keepConnected=*/true);
+
+    SyncRunner<PointerState> runner(smm, g, ids);
+    const auto result = runner.run(states, g.order() + 3);
+    ASSERT_TRUE(result.stabilized) << "trial " << trial;
+    EXPECT_TRUE(analysis::checkMatchingFixpoint(g, states).ok())
+        << "trial " << trial;
+  }
+}
+
+TEST(FaultRecovery, SmmSurvivesDisconnection) {
+  // The paper assumes the network stays connected, but the protocol itself
+  // does not need that: each component stabilizes independently.
+  graph::Rng rng(303);
+  const core::SmmProtocol smm = core::smmPaper();
+  Graph g = graph::connectedErdosRenyi(20, 0.15, rng);
+  const auto ids = IdAssignment::identity(20);
+  std::vector<PointerState> states;
+  ASSERT_TRUE(engine::runFromClean(smm, g, ids, 100, &states).stabilized);
+
+  engine::perturbTopology(g, rng, 12, /*keepConnected=*/false);
+
+  SyncRunner<PointerState> runner(smm, g, ids);
+  const auto result = runner.run(states, g.order() + 3);
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_TRUE(analysis::checkMatchingFixpoint(g, states).ok());
+}
+
+TEST(FaultRecovery, LocalizedCorruptionHealsQuickly) {
+  // Corrupt a handful of nodes in a large stabilized system; convergence
+  // restarts from a nearly-legal configuration and must finish well under
+  // the worst-case bound.
+  graph::Rng rng(305);
+  const core::SmmProtocol smm = core::smmPaper();
+  const std::size_t n = 100;
+  const Graph g = graph::connectedErdosRenyi(n, 0.05, rng);
+  const auto ids = IdAssignment::identity(n);
+  std::vector<PointerState> states;
+  ASSERT_TRUE(engine::runFromClean(smm, g, ids, 200, &states).stabilized);
+
+  for (int burst = 0; burst < 10; ++burst) {
+    const std::size_t corrupted = engine::corruptConfiguration(
+        states, g, rng, 0.05, core::randomPointerState);
+    SyncRunner<PointerState> runner(smm, g, ids);
+    const auto result = runner.run(states, n + 2);
+    ASSERT_TRUE(result.stabilized) << "burst " << burst;
+    EXPECT_TRUE(analysis::checkMatchingFixpoint(g, states).ok());
+    // Recovery cost should scale with the damage, not with n: generous
+    // envelope of 4 rounds per corrupted node plus slack.
+    EXPECT_LE(result.rounds, 4 * corrupted + 6) << "burst " << burst;
+  }
+}
+
+TEST(FaultRecovery, SisRestabilizesAfterTopologyChurn) {
+  graph::Rng rng(307);
+  const core::SisProtocol sis;
+  for (int trial = 0; trial < 15; ++trial) {
+    Graph g = graph::connectedErdosRenyi(24, 0.15, rng);
+    const auto ids = IdAssignment::identity(24);
+    std::vector<BitState> states;
+    ASSERT_TRUE(engine::runFromClean(sis, g, ids, 100, &states).stabilized);
+
+    engine::perturbTopology(g, rng, 6, /*keepConnected=*/true);
+
+    SyncRunner<BitState> runner(sis, g, ids);
+    const auto result = runner.run(states, g.order() + 1);
+    ASSERT_TRUE(result.stabilized) << "trial " << trial;
+    EXPECT_TRUE(
+        analysis::isMaximalIndependentSet(g, analysis::membersOf(states)))
+        << "trial " << trial;
+  }
+}
+
+TEST(FaultRecovery, SingleLinkFailureInsideMatchedPair) {
+  // Targeted scenario: break exactly one matched edge; both endpoints hold
+  // dangling pointers, must back off, and may re-match with someone else.
+  const Graph original = graph::path(6);
+  const auto ids = IdAssignment::identity(6);
+  const core::SmmProtocol smm = core::smmPaper();
+  std::vector<PointerState> states;
+  ASSERT_TRUE(
+      engine::runFromClean(smm, original, ids, 20, &states).stabilized);
+  const auto edges = analysis::matchedEdges(original, states);
+  ASSERT_FALSE(edges.empty());
+
+  Graph g = original;
+  g.removeEdge(edges[0].u, edges[0].v);
+
+  SyncRunner<PointerState> runner(smm, g, ids);
+  const auto result = runner.run(states, 10);
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_TRUE(analysis::checkMatchingFixpoint(g, states).ok());
+}
+
+TEST(FaultRecovery, NewLinkBetweenUnmatchedNodesGetsUsed) {
+  // Star: center matches one leaf, the rest are aloof. Adding an edge
+  // between two aloof leaves must produce a new matched pair (maximality is
+  // re-established).
+  Graph g = graph::star(6);
+  const auto ids = IdAssignment::identity(6);
+  const core::SmmProtocol smm = core::smmPaper();
+  std::vector<PointerState> states;
+  ASSERT_TRUE(engine::runFromClean(smm, g, ids, 20, &states).stabilized);
+  const auto before = analysis::matchedEdges(g, states);
+  ASSERT_EQ(before.size(), 1u);
+
+  // Find two unmatched leaves and connect them.
+  std::vector<graph::Vertex> unmatched;
+  for (graph::Vertex v = 1; v < 6; ++v) {
+    if (states[v].isNull()) unmatched.push_back(v);
+  }
+  ASSERT_GE(unmatched.size(), 2u);
+  g.addEdge(unmatched[0], unmatched[1]);
+
+  SyncRunner<PointerState> runner(smm, g, ids);
+  ASSERT_TRUE(runner.run(states, 10).stabilized);
+  EXPECT_EQ(analysis::matchedEdges(g, states).size(), 2u);
+  EXPECT_TRUE(analysis::checkMatchingFixpoint(g, states).ok());
+}
+
+}  // namespace
+}  // namespace selfstab

@@ -1,0 +1,259 @@
+// Cross-protocol soak matrix: every protocol x several topology families x
+// sizes x seeds, each run starting from an adversarial random configuration
+// and checked against its predicate verifier. One TEST_P instance per cell,
+// so a regression pinpoints exactly which (protocol, topology) combination
+// broke.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "analysis/verifiers.hpp"
+#include "core/aggregation.hpp"
+#include "core/bfs_tree.hpp"
+#include "core/coloring.hpp"
+#include "core/dominating_set.hpp"
+#include "core/leader_tree.hpp"
+#include "core/local_mutex.hpp"
+#include "core/sis.hpp"
+#include "core/smm.hpp"
+#include "engine/fault.hpp"
+#include "engine/sync_runner.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab {
+namespace {
+
+using engine::SyncRunner;
+using graph::Graph;
+using graph::IdAssignment;
+
+// Type-erased protocol cell: builds a protocol for (graph, ids), runs it
+// from a random configuration, returns whether it stabilized to a verified
+// predicate within the budget.
+struct ProtocolCase {
+  std::string name;
+  std::function<bool(const Graph&, const IdAssignment&, std::uint64_t seed)>
+      run;
+};
+
+template <typename State, typename MakeProtocol, typename Sampler,
+          typename Verify>
+ProtocolCase makeCase(std::string name, MakeProtocol make, Sampler sampler,
+                      std::size_t budgetPerNode, Verify verify) {
+  ProtocolCase pc;
+  pc.name = std::move(name);
+  pc.run = [make, sampler, budgetPerNode, verify](
+               const Graph& g, const IdAssignment& ids, std::uint64_t seed) {
+    const auto protocol = make(g, ids);
+    graph::Rng rng(seed);
+    auto states = engine::randomConfiguration<State>(g, rng, sampler);
+    SyncRunner<State> runner(*protocol, g, ids, seed);
+    const auto result =
+        runner.run(states, budgetPerNode * g.order() + 64);
+    return result.stabilized && verify(g, ids, states);
+  };
+  return pc;
+}
+
+// Readings shared by the aggregation adapter (protocol holds a pointer).
+std::vector<std::uint64_t>& sharedReadings() {
+  static std::vector<std::uint64_t> readings;
+  return readings;
+}
+
+std::vector<ProtocolCase> allProtocols() {
+  using core::AggregateState;
+  using core::BitState;
+  using core::ColorState;
+  using core::DomState;
+  using core::LeaderState;
+  using core::PointerState;
+  using core::TreeState;
+
+  std::vector<ProtocolCase> cases;
+
+  cases.push_back(makeCase<PointerState>(
+      "smm",
+      [](const Graph&, const IdAssignment&) {
+        return std::make_unique<core::SmmProtocol>(core::Choice::MinId,
+                                                   core::Choice::MinId);
+      },
+      core::randomPointerState, 2,
+      [](const Graph& g, const IdAssignment&,
+         const std::vector<PointerState>& states) {
+        return analysis::checkMatchingFixpoint(g, states).ok();
+      }));
+
+  cases.push_back(makeCase<PointerState>(
+      "hh-sync",
+      [](const Graph&, const IdAssignment&) {
+        return std::make_unique<core::Synchronized<core::SmmProtocol>>(
+            core::Choice::First, core::Choice::First);
+      },
+      core::randomPointerState, 64,
+      [](const Graph& g, const IdAssignment&,
+         const std::vector<PointerState>& states) {
+        return analysis::checkMatchingFixpoint(g, states).ok();
+      }));
+
+  cases.push_back(makeCase<BitState>(
+      "sis",
+      [](const Graph&, const IdAssignment&) {
+        return std::make_unique<core::SisProtocol>();
+      },
+      core::randomBitState, 2,
+      [](const Graph& g, const IdAssignment&,
+         const std::vector<BitState>& states) {
+        return analysis::isMaximalIndependentSet(
+            g, analysis::membersOf(states));
+      }));
+
+  cases.push_back(makeCase<ColorState>(
+      "coloring",
+      [](const Graph&, const IdAssignment&) {
+        return std::make_unique<core::ColoringProtocol>();
+      },
+      core::randomColorState, 2,
+      [](const Graph& g, const IdAssignment&,
+         const std::vector<ColorState>& states) {
+        return analysis::isProperColoring(g, states);
+      }));
+
+  cases.push_back(makeCase<DomState>(
+      "domset",
+      [](const Graph&, const IdAssignment&) {
+        return std::make_unique<
+            core::Synchronized<core::DominatingSetProtocol>>();
+      },
+      core::randomDomState, 64,
+      [](const Graph& g, const IdAssignment&,
+         const std::vector<DomState>& states) {
+        return analysis::isMinimalDominatingSet(
+            g, analysis::membersOf(states));
+      }));
+
+  cases.push_back(makeCase<TreeState>(
+      "bfstree",
+      [](const Graph& g, const IdAssignment& ids) {
+        return std::make_unique<core::BfsTreeProtocol>(
+            ids.idOf(0), static_cast<std::uint32_t>(g.order()));
+      },
+      core::randomTreeState, 3,
+      [](const Graph& g, const IdAssignment& ids,
+         const std::vector<TreeState>& states) {
+        return analysis::isShortestPathTree(
+            g, ids, 0, static_cast<std::uint32_t>(g.order()), states);
+      }));
+
+  cases.push_back(makeCase<LeaderState>(
+      "leadertree",
+      [](const Graph& g, const IdAssignment&) {
+        return std::make_unique<core::LeaderTreeProtocol>(
+            static_cast<std::uint32_t>(g.order()));
+      },
+      core::randomLeaderState, 3,
+      [](const Graph& g, const IdAssignment& ids,
+         const std::vector<LeaderState>& states) {
+        return analysis::isLeaderTree(g, ids, states);
+      }));
+
+  cases.push_back(makeCase<AggregateState>(
+      "aggregation",
+      [](const Graph& g, const IdAssignment&) {
+        auto& readings = sharedReadings();
+        readings.assign(g.order(), 0);
+        for (std::size_t v = 0; v < g.order(); ++v) readings[v] = 10 + v;
+        return std::make_unique<core::AggregationProtocol>(
+            static_cast<std::uint32_t>(g.order()), &readings);
+      },
+      core::randomAggregateState, 5,
+      [](const Graph& g, const IdAssignment& ids,
+         const std::vector<AggregateState>& states) {
+        // The max-ID node of each component publishes the exact totals.
+        const auto comp = graph::connectedComponents(g);
+        const std::size_t k = graph::componentCount(g);
+        for (std::size_t c = 0; c < k; ++c) {
+          graph::Vertex leader = graph::kNoVertex;
+          std::uint64_t sum = 0;
+          std::uint32_t count = 0;
+          for (graph::Vertex v = 0; v < g.order(); ++v) {
+            if (comp[v] != c) continue;
+            sum += sharedReadings()[v];
+            ++count;
+            if (leader == graph::kNoVertex || ids.less(leader, v)) leader = v;
+          }
+          if (states[leader].sum != sum || states[leader].count != count) {
+            return false;
+          }
+        }
+        return true;
+      }));
+
+  return cases;
+}
+
+struct TopologyCase {
+  std::string name;
+  std::function<Graph(std::size_t, graph::Rng&)> make;
+};
+
+std::vector<TopologyCase> topologies() {
+  return {
+      {"path", [](std::size_t n, graph::Rng&) { return graph::path(n); }},
+      {"cycle", [](std::size_t n, graph::Rng&) { return graph::cycle(n); }},
+      {"wheel", [](std::size_t n, graph::Rng&) { return graph::wheel(n); }},
+      {"gnp",
+       [](std::size_t n, graph::Rng& rng) {
+         return graph::connectedErdosRenyi(
+             n, 4.0 / static_cast<double>(n), rng);
+       }},
+      {"udg",
+       [](std::size_t n, graph::Rng& rng) {
+         return graph::connectedRandomGeometric(n, 0.35, rng);
+       }},
+      {"regular3",
+       [](std::size_t n, graph::Rng& rng) {
+         return graph::randomRegular(n % 2 == 0 ? n : n + 1, 3, rng);
+       }},
+  };
+}
+
+using SoakParam =
+    std::tuple<ProtocolCase, TopologyCase, std::size_t, std::uint64_t>;
+
+class ProtocolSoak : public ::testing::TestWithParam<SoakParam> {};
+
+TEST_P(ProtocolSoak, StabilizesToVerifiedPredicate) {
+  const auto& [protocol, topology, n, seed] = GetParam();
+  graph::Rng rng(hashCombine(seed, n));
+  const Graph g = topology.make(n, rng);
+  graph::Rng idRng(seed * 31 + n);
+  const IdAssignment ids =
+      IdAssignment::randomPermutation(g.order(), idRng);
+  EXPECT_TRUE(protocol.run(g, ids, seed));
+}
+
+std::string soakName(const ::testing::TestParamInfo<SoakParam>& info) {
+  std::string name = std::get<0>(info.param).name + "_" +
+                     std::get<1>(info.param).name + "_n" +
+                     std::to_string(std::get<2>(info.param)) + "_s" +
+                     std::to_string(std::get<3>(info.param));
+  // gtest parameter names must be alphanumeric/underscore only.
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ProtocolSoak,
+    ::testing::Combine(::testing::ValuesIn(allProtocols()),
+                       ::testing::ValuesIn(topologies()),
+                       ::testing::Values<std::size_t>(12, 28),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)),
+    soakName);
+
+}  // namespace
+}  // namespace selfstab

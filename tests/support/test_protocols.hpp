@@ -1,0 +1,68 @@
+// Tiny synthetic protocols used by engine-level tests.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "engine/protocol.hpp"
+#include "graph/rng.hpp"
+
+namespace selfstab::testing {
+
+struct ValueState {
+  std::uint64_t value = 0;
+
+  friend constexpr bool operator==(const ValueState&,
+                                   const ValueState&) = default;
+
+  friend constexpr std::uint64_t hashValue(const ValueState& s) noexcept {
+    return mix64(s.value);
+  }
+};
+
+/// Converges to the global maximum of the initial values (a classic
+/// self-stabilizing "max flooding"): stabilizes within diameter rounds under
+/// the synchronous model and under any fair daemon.
+class MaxProtocol final : public engine::Protocol<ValueState> {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "max"; }
+
+  [[nodiscard]] std::optional<ValueState> onRound(
+      const engine::LocalView<ValueState>& view) const override {
+    std::uint64_t best = view.state().value;
+    for (const auto& nbr : view.neighbors) {
+      best = std::max(best, nbr.state->value);
+    }
+    if (best == view.state().value) return std::nullopt;
+    return ValueState{best};
+  }
+
+  [[nodiscard]] ValueState initialState(graph::Vertex v) const override {
+    return ValueState{v};  // distinct values; max is n-1
+  }
+};
+
+/// Never stabilizes: every node toggles its bit every round. The global
+/// trajectory under the synchronous model has period 2.
+class BlinkerProtocol final : public engine::Protocol<ValueState> {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "blinker"; }
+
+  [[nodiscard]] std::optional<ValueState> onRound(
+      const engine::LocalView<ValueState>& view) const override {
+    return ValueState{view.state().value ^ 1};
+  }
+};
+
+/// Never stabilizes and never revisits a configuration: counts up forever.
+class CounterProtocol final : public engine::Protocol<ValueState> {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "counter"; }
+
+  [[nodiscard]] std::optional<ValueState> onRound(
+      const engine::LocalView<ValueState>& view) const override {
+    return ValueState{view.state().value + 1};
+  }
+};
+
+}  // namespace selfstab::testing
