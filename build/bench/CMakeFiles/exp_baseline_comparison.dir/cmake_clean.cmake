@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_baseline_comparison.dir/exp_baseline_comparison.cpp.o"
+  "CMakeFiles/exp_baseline_comparison.dir/exp_baseline_comparison.cpp.o.d"
+  "exp_baseline_comparison"
+  "exp_baseline_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_baseline_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_beacon_model.dir/exp_beacon_model.cpp.o"
+  "CMakeFiles/exp_beacon_model.dir/exp_beacon_model.cpp.o.d"
+  "exp_beacon_model"
+  "exp_beacon_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_beacon_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

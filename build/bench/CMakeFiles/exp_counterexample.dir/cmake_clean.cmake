@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_counterexample.dir/exp_counterexample.cpp.o"
+  "CMakeFiles/exp_counterexample.dir/exp_counterexample.cpp.o.d"
+  "exp_counterexample"
+  "exp_counterexample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_counterexample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

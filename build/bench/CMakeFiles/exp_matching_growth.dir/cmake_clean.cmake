@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_matching_growth.dir/exp_matching_growth.cpp.o"
+  "CMakeFiles/exp_matching_growth.dir/exp_matching_growth.cpp.o.d"
+  "exp_matching_growth"
+  "exp_matching_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_matching_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sis_rounds.dir/exp_sis_rounds.cpp.o"
+  "CMakeFiles/exp_sis_rounds.dir/exp_sis_rounds.cpp.o.d"
+  "exp_sis_rounds"
+  "exp_sis_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sis_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_smm_rounds.dir/exp_smm_rounds.cpp.o"
+  "CMakeFiles/exp_smm_rounds.dir/exp_smm_rounds.cpp.o.d"
+  "exp_smm_rounds"
+  "exp_smm_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_smm_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_spanning_tree.dir/exp_spanning_tree.cpp.o"
+  "CMakeFiles/exp_spanning_tree.dir/exp_spanning_tree.cpp.o.d"
+  "exp_spanning_tree"
+  "exp_spanning_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_spanning_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

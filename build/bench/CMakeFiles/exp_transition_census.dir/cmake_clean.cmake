@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_transition_census.dir/exp_transition_census.cpp.o"
+  "CMakeFiles/exp_transition_census.dir/exp_transition_census.cpp.o.d"
+  "exp_transition_census"
+  "exp_transition_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_transition_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

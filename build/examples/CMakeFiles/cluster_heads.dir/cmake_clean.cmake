@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_heads.dir/cluster_heads.cpp.o"
+  "CMakeFiles/cluster_heads.dir/cluster_heads.cpp.o.d"
+  "cluster_heads"
+  "cluster_heads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_heads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

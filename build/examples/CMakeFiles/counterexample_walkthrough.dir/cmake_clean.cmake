@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counterexample_walkthrough.dir/counterexample_walkthrough.cpp.o"
+  "CMakeFiles/counterexample_walkthrough.dir/counterexample_walkthrough.cpp.o.d"
+  "counterexample_walkthrough"
+  "counterexample_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counterexample_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_tree.dir/multicast_tree.cpp.o"
+  "CMakeFiles/multicast_tree.dir/multicast_tree.cpp.o.d"
+  "multicast_tree"
+  "multicast_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

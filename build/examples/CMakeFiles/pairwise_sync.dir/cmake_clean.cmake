@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairwise_sync.dir/pairwise_sync.cpp.o"
+  "CMakeFiles/pairwise_sync.dir/pairwise_sync.cpp.o.d"
+  "pairwise_sync"
+  "pairwise_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairwise_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfstab_adhoc.dir/mobility.cpp.o"
+  "CMakeFiles/selfstab_adhoc.dir/mobility.cpp.o.d"
+  "libselfstab_adhoc.a"
+  "libselfstab_adhoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfstab_adhoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for selfstab_adhoc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfstab_analysis.dir/baselines.cpp.o"
+  "CMakeFiles/selfstab_analysis.dir/baselines.cpp.o.d"
+  "CMakeFiles/selfstab_analysis.dir/node_types.cpp.o"
+  "CMakeFiles/selfstab_analysis.dir/node_types.cpp.o.d"
+  "CMakeFiles/selfstab_analysis.dir/verifiers.cpp.o"
+  "CMakeFiles/selfstab_analysis.dir/verifiers.cpp.o.d"
+  "libselfstab_analysis.a"
+  "libselfstab_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfstab_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfstab-sim.dir/main_sim.cpp.o"
+  "CMakeFiles/selfstab-sim.dir/main_sim.cpp.o.d"
+  "selfstab-sim"
+  "selfstab-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfstab-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfstab.dir/main.cpp.o"
+  "CMakeFiles/selfstab.dir/main.cpp.o.d"
+  "selfstab"
+  "selfstab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfstab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

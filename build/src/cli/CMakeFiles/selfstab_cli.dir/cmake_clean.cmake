@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfstab_cli.dir/options.cpp.o"
+  "CMakeFiles/selfstab_cli.dir/options.cpp.o.d"
+  "CMakeFiles/selfstab_cli.dir/run.cpp.o"
+  "CMakeFiles/selfstab_cli.dir/run.cpp.o.d"
+  "CMakeFiles/selfstab_cli.dir/sim_options.cpp.o"
+  "CMakeFiles/selfstab_cli.dir/sim_options.cpp.o.d"
+  "CMakeFiles/selfstab_cli.dir/sim_run.cpp.o"
+  "CMakeFiles/selfstab_cli.dir/sim_run.cpp.o.d"
+  "libselfstab_cli.a"
+  "libselfstab_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfstab_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

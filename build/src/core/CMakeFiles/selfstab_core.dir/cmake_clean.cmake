@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfstab_core.dir/smm.cpp.o"
+  "CMakeFiles/selfstab_core.dir/smm.cpp.o.d"
+  "libselfstab_core.a"
+  "libselfstab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfstab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

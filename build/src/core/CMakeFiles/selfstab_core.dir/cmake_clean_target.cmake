@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libselfstab_core.a"
+)

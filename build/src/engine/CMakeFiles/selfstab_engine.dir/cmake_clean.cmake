@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfstab_engine.dir/fault.cpp.o"
+  "CMakeFiles/selfstab_engine.dir/fault.cpp.o.d"
+  "libselfstab_engine.a"
+  "libselfstab_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfstab_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

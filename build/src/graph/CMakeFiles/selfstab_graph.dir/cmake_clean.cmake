@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfstab_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/selfstab_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/selfstab_graph.dir/generators.cpp.o"
+  "CMakeFiles/selfstab_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/selfstab_graph.dir/geometry.cpp.o"
+  "CMakeFiles/selfstab_graph.dir/geometry.cpp.o.d"
+  "CMakeFiles/selfstab_graph.dir/graph.cpp.o"
+  "CMakeFiles/selfstab_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/selfstab_graph.dir/id_order.cpp.o"
+  "CMakeFiles/selfstab_graph.dir/id_order.cpp.o.d"
+  "CMakeFiles/selfstab_graph.dir/io.cpp.o"
+  "CMakeFiles/selfstab_graph.dir/io.cpp.o.d"
+  "libselfstab_graph.a"
+  "libselfstab_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfstab_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

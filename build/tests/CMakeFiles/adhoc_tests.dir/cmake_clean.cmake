@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_tests.dir/adhoc/test_event_queue.cpp.o"
+  "CMakeFiles/adhoc_tests.dir/adhoc/test_event_queue.cpp.o.d"
+  "CMakeFiles/adhoc_tests.dir/adhoc/test_mobility.cpp.o"
+  "CMakeFiles/adhoc_tests.dir/adhoc/test_mobility.cpp.o.d"
+  "CMakeFiles/adhoc_tests.dir/adhoc/test_network.cpp.o"
+  "CMakeFiles/adhoc_tests.dir/adhoc/test_network.cpp.o.d"
+  "adhoc_tests"
+  "adhoc_tests.pdb"
+  "adhoc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

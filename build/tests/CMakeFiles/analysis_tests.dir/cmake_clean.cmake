@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/test_baselines.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_baselines.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_node_types.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_node_types.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_stats.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_stats.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_trace.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_trace.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_transitions.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_transitions.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_verifiers.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_verifiers.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_tests.dir/cli/test_options.cpp.o"
+  "CMakeFiles/cli_tests.dir/cli/test_options.cpp.o.d"
+  "CMakeFiles/cli_tests.dir/cli/test_run.cpp.o"
+  "CMakeFiles/cli_tests.dir/cli/test_run.cpp.o.d"
+  "CMakeFiles/cli_tests.dir/cli/test_sim.cpp.o"
+  "CMakeFiles/cli_tests.dir/cli/test_sim.cpp.o.d"
+  "cli_tests"
+  "cli_tests.pdb"
+  "cli_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_aggregation.cpp" "tests/CMakeFiles/core_tests.dir/core/test_aggregation.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_aggregation.cpp.o.d"
+  "/root/repo/tests/core/test_bfs_tree.cpp" "tests/CMakeFiles/core_tests.dir/core/test_bfs_tree.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_bfs_tree.cpp.o.d"
+  "/root/repo/tests/core/test_coloring.cpp" "tests/CMakeFiles/core_tests.dir/core/test_coloring.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_coloring.cpp.o.d"
+  "/root/repo/tests/core/test_dominating_set.cpp" "tests/CMakeFiles/core_tests.dir/core/test_dominating_set.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_dominating_set.cpp.o.d"
+  "/root/repo/tests/core/test_hsu_huang.cpp" "tests/CMakeFiles/core_tests.dir/core/test_hsu_huang.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_hsu_huang.cpp.o.d"
+  "/root/repo/tests/core/test_leader_tree.cpp" "tests/CMakeFiles/core_tests.dir/core/test_leader_tree.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_leader_tree.cpp.o.d"
+  "/root/repo/tests/core/test_local_mutex.cpp" "tests/CMakeFiles/core_tests.dir/core/test_local_mutex.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_local_mutex.cpp.o.d"
+  "/root/repo/tests/core/test_sis.cpp" "tests/CMakeFiles/core_tests.dir/core/test_sis.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_sis.cpp.o.d"
+  "/root/repo/tests/core/test_smm_convergence.cpp" "tests/CMakeFiles/core_tests.dir/core/test_smm_convergence.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_smm_convergence.cpp.o.d"
+  "/root/repo/tests/core/test_smm_properties.cpp" "tests/CMakeFiles/core_tests.dir/core/test_smm_properties.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_smm_properties.cpp.o.d"
+  "/root/repo/tests/core/test_smm_rules.cpp" "tests/CMakeFiles/core_tests.dir/core/test_smm_rules.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_smm_rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/selfstab_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/selfstab_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/selfstab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/selfstab_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/adhoc/CMakeFiles/selfstab_adhoc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

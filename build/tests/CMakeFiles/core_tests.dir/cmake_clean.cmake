@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/test_aggregation.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_aggregation.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_bfs_tree.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_bfs_tree.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_coloring.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_coloring.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_dominating_set.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_dominating_set.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_hsu_huang.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_hsu_huang.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_leader_tree.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_leader_tree.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_local_mutex.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_local_mutex.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_sis.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_sis.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_smm_convergence.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_smm_convergence.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_smm_properties.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_smm_properties.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_smm_rules.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_smm_rules.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

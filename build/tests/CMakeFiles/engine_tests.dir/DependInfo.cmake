@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/test_cycle_detection.cpp" "tests/CMakeFiles/engine_tests.dir/engine/test_cycle_detection.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/test_cycle_detection.cpp.o.d"
+  "/root/repo/tests/engine/test_daemons.cpp" "tests/CMakeFiles/engine_tests.dir/engine/test_daemons.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/test_daemons.cpp.o.d"
+  "/root/repo/tests/engine/test_fault.cpp" "tests/CMakeFiles/engine_tests.dir/engine/test_fault.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/test_fault.cpp.o.d"
+  "/root/repo/tests/engine/test_parallel_runner.cpp" "tests/CMakeFiles/engine_tests.dir/engine/test_parallel_runner.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/test_parallel_runner.cpp.o.d"
+  "/root/repo/tests/engine/test_replay.cpp" "tests/CMakeFiles/engine_tests.dir/engine/test_replay.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/test_replay.cpp.o.d"
+  "/root/repo/tests/engine/test_sync_runner.cpp" "tests/CMakeFiles/engine_tests.dir/engine/test_sync_runner.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/test_sync_runner.cpp.o.d"
+  "/root/repo/tests/engine/test_view_builder.cpp" "tests/CMakeFiles/engine_tests.dir/engine/test_view_builder.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/test_view_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/selfstab_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/selfstab_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/selfstab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/selfstab_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/adhoc/CMakeFiles/selfstab_adhoc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

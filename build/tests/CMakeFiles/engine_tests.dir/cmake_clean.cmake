@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_tests.dir/engine/test_cycle_detection.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/test_cycle_detection.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/test_daemons.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/test_daemons.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/test_fault.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/test_fault.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/test_parallel_runner.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/test_parallel_runner.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/test_replay.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/test_replay.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/test_sync_runner.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/test_sync_runner.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/test_view_builder.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/test_view_builder.cpp.o.d"
+  "engine_tests"
+  "engine_tests.pdb"
+  "engine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/test_algorithms.cpp" "tests/CMakeFiles/graph_tests.dir/graph/test_algorithms.cpp.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/test_algorithms.cpp.o.d"
+  "/root/repo/tests/graph/test_generators.cpp" "tests/CMakeFiles/graph_tests.dir/graph/test_generators.cpp.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/test_generators.cpp.o.d"
+  "/root/repo/tests/graph/test_geometry.cpp" "tests/CMakeFiles/graph_tests.dir/graph/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/test_geometry.cpp.o.d"
+  "/root/repo/tests/graph/test_graph.cpp" "tests/CMakeFiles/graph_tests.dir/graph/test_graph.cpp.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/test_graph.cpp.o.d"
+  "/root/repo/tests/graph/test_id_order.cpp" "tests/CMakeFiles/graph_tests.dir/graph/test_id_order.cpp.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/test_id_order.cpp.o.d"
+  "/root/repo/tests/graph/test_io.cpp" "tests/CMakeFiles/graph_tests.dir/graph/test_io.cpp.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/test_io.cpp.o.d"
+  "/root/repo/tests/graph/test_rng.cpp" "tests/CMakeFiles/graph_tests.dir/graph/test_rng.cpp.o" "gcc" "tests/CMakeFiles/graph_tests.dir/graph/test_rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/selfstab_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/selfstab_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/selfstab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/selfstab_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/adhoc/CMakeFiles/selfstab_adhoc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

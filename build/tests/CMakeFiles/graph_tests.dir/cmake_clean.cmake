@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_tests.dir/graph/test_algorithms.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/test_algorithms.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/test_generators.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/test_generators.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/test_geometry.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/test_geometry.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/test_graph.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/test_graph.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/test_id_order.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/test_id_order.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/test_io.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/test_io.cpp.o.d"
+  "CMakeFiles/graph_tests.dir/graph/test_rng.cpp.o"
+  "CMakeFiles/graph_tests.dir/graph/test_rng.cpp.o.d"
+  "graph_tests"
+  "graph_tests.pdb"
+  "graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_beacon_vs_abstract.cpp" "tests/CMakeFiles/integration_tests.dir/integration/test_beacon_vs_abstract.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/test_beacon_vs_abstract.cpp.o.d"
+  "/root/repo/tests/integration/test_differential.cpp" "tests/CMakeFiles/integration_tests.dir/integration/test_differential.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/test_differential.cpp.o.d"
+  "/root/repo/tests/integration/test_exhaustive_graphs.cpp" "tests/CMakeFiles/integration_tests.dir/integration/test_exhaustive_graphs.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/test_exhaustive_graphs.cpp.o.d"
+  "/root/repo/tests/integration/test_fault_recovery.cpp" "tests/CMakeFiles/integration_tests.dir/integration/test_fault_recovery.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/test_fault_recovery.cpp.o.d"
+  "/root/repo/tests/integration/test_paper_theorems.cpp" "tests/CMakeFiles/integration_tests.dir/integration/test_paper_theorems.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/test_paper_theorems.cpp.o.d"
+  "/root/repo/tests/integration/test_soak.cpp" "tests/CMakeFiles/integration_tests.dir/integration/test_soak.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/test_soak.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/selfstab_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/selfstab_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/selfstab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/selfstab_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/adhoc/CMakeFiles/selfstab_adhoc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

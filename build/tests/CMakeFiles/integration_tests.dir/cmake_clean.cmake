@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/test_beacon_vs_abstract.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_beacon_vs_abstract.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/test_differential.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_differential.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/test_exhaustive_graphs.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_exhaustive_graphs.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/test_fault_recovery.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_fault_recovery.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/test_paper_theorems.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_paper_theorems.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/test_soak.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_soak.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
