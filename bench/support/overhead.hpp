@@ -1,0 +1,49 @@
+// The disabled-telemetry contract, checked before benchmarking.
+//
+// SyncRunner::attachTelemetry(nullptr) must be observably free: the same
+// trajectory, the same move counts, the same RunResult as a runner that
+// never heard of telemetry. (ScopedTimer with a null sink performs no clock
+// read, so the instrumented phases compile down to the bare loop.) The
+// micro_telemetry benchmark then quantifies the residual timing difference;
+// this check guarantees there is no *behavioral* difference to quantify.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/smm.hpp"
+#include "engine/fault.hpp"
+#include "engine/sync_runner.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::bench {
+
+inline void assertNullRegistryZeroOverhead() {
+  graph::Rng rng(4242);
+  const graph::Graph g = graph::connectedErdosRenyi(128, 0.06, rng);
+  const auto ids = graph::IdAssignment::identity(128);
+  const core::SmmProtocol smm = core::smmPaper();
+  const auto start = engine::randomConfiguration<core::PointerState>(
+      g, rng, core::randomPointerState);
+
+  auto bare = start;
+  engine::SyncRunner<core::PointerState> plain(smm, g, ids, 7);
+  const engine::RunResult plainResult = plain.run(bare, 300);
+
+  auto nulled = start;
+  engine::SyncRunner<core::PointerState> detached(smm, g, ids, 7);
+  detached.attachTelemetry(nullptr, nullptr);
+  const engine::RunResult detachedResult = detached.run(nulled, 300);
+
+  if (!(plainResult == detachedResult) || !(bare == nulled)) {
+    std::fprintf(stderr,
+                 "FATAL: attachTelemetry(nullptr) changed the trajectory "
+                 "(rounds %zu vs %zu, moves %zu vs %zu)\n",
+                 plainResult.rounds, detachedResult.rounds,
+                 plainResult.totalMoves, detachedResult.totalMoves);
+    std::abort();
+  }
+}
+
+}  // namespace selfstab::bench

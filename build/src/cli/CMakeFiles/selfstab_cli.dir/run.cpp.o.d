@@ -178,8 +178,8 @@ src/cli/CMakeFiles/selfstab_cli.dir/run.cpp.o: /root/repo/src/cli/run.cpp \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/sstream \
  /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/cli/../analysis/trace.hpp /usr/include/c++/12/cassert \
- /usr/include/assert.h /root/repo/src/cli/../analysis/verifiers.hpp \
+ /root/repo/src/cli/../analysis/trace.hpp \
+ /root/repo/src/cli/../analysis/verifiers.hpp \
  /root/repo/src/cli/../core/bfs_tree.hpp \
  /root/repo/src/cli/../engine/protocol.hpp \
  /root/repo/src/cli/../core/coloring.hpp \
@@ -187,19 +187,67 @@ src/cli/CMakeFiles/selfstab_cli.dir/run.cpp.o: /root/repo/src/cli/run.cpp \
  /root/repo/src/cli/../core/dominating_set.hpp \
  /root/repo/src/cli/../core/matching_state.hpp \
  /root/repo/src/cli/../core/sis.hpp \
+ /root/repo/src/cli/../cli/metrics_io.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/ext/concurrence.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
+ /usr/include/c++/12/bits/atomic_base.h \
+ /usr/include/c++/12/bits/atomic_lockfree_defines.h \
+ /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/limits.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/syslimits.h \
+ /usr/include/limits.h /usr/include/x86_64-linux-gnu/bits/posix1_lim.h \
+ /usr/include/x86_64-linux-gnu/bits/local_lim.h \
+ /usr/include/linux/limits.h \
+ /usr/include/x86_64-linux-gnu/bits/posix2_lim.h \
+ /usr/include/x86_64-linux-gnu/bits/xopen_lim.h \
+ /usr/include/x86_64-linux-gnu/bits/uio_lim.h /usr/include/unistd.h \
+ /usr/include/x86_64-linux-gnu/bits/posix_opt.h \
+ /usr/include/x86_64-linux-gnu/bits/environments.h \
+ /usr/include/x86_64-linux-gnu/bits/confname.h \
+ /usr/include/x86_64-linux-gnu/bits/getopt_posix.h \
+ /usr/include/x86_64-linux-gnu/bits/getopt_core.h \
+ /usr/include/x86_64-linux-gnu/bits/unistd_ext.h \
+ /usr/include/linux/close_range.h /usr/include/syscall.h \
+ /usr/include/x86_64-linux-gnu/sys/syscall.h \
+ /usr/include/x86_64-linux-gnu/asm/unistd.h \
+ /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
+ /usr/include/x86_64-linux-gnu/bits/syscall.h \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/backward/auto_ptr.h \
+ /usr/include/c++/12/bits/ranges_uninitialized.h \
+ /usr/include/c++/12/bits/uses_allocator_args.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/cli/../telemetry/telemetry.hpp \
+ /root/repo/src/cli/../telemetry/event_log.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/cli/../telemetry/json.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/cli/../telemetry/metrics.hpp \
+ /usr/include/c++/12/atomic /root/repo/src/cli/../telemetry/registry.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h \
+ /root/repo/src/cli/../telemetry/timer.hpp /usr/include/c++/12/chrono \
  /root/repo/src/cli/../core/local_mutex.hpp \
  /root/repo/src/cli/../core/smm.hpp \
  /root/repo/src/cli/../engine/cycle_detection.hpp \
- /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/ext/aligned_buffer.h \
- /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/cli/../engine/sync_runner.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/cli/../engine/runner_telemetry.hpp \
  /root/repo/src/cli/../engine/view_builder.hpp \
  /root/repo/src/cli/../engine/fault.hpp \
  /root/repo/src/cli/../graph/generators.hpp \

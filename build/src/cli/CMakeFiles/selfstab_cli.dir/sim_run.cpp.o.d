@@ -257,11 +257,23 @@ src/cli/CMakeFiles/selfstab_cli.dir/sim_run.cpp.o: \
  /usr/include/c++/12/array /root/repo/src/cli/../graph/rng.hpp \
  /root/repo/src/cli/../engine/protocol.hpp \
  /root/repo/src/cli/../graph/id_order.hpp \
+ /root/repo/src/cli/../telemetry/telemetry.hpp \
+ /root/repo/src/cli/../telemetry/event_log.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/cli/../telemetry/json.hpp \
+ /root/repo/src/cli/../telemetry/metrics.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/cli/../telemetry/registry.hpp \
+ /root/repo/src/cli/../telemetry/timer.hpp /usr/include/c++/12/chrono \
  /root/repo/src/cli/../analysis/verifiers.hpp \
  /root/repo/src/cli/../core/bfs_tree.hpp \
  /root/repo/src/cli/../core/coloring.hpp \
  /root/repo/src/cli/../core/leader_tree.hpp \
  /root/repo/src/cli/../core/dominating_set.hpp \
  /root/repo/src/cli/../core/matching_state.hpp \
- /root/repo/src/cli/../core/sis.hpp /root/repo/src/cli/../core/smm.hpp \
+ /root/repo/src/cli/../core/sis.hpp \
+ /root/repo/src/cli/../cli/metrics_io.hpp /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/cli/../core/smm.hpp \
  /root/repo/src/cli/../graph/generators.hpp

@@ -302,6 +302,18 @@ tests/CMakeFiles/analysis_tests.dir/analysis/test_transitions.cpp.o: \
  /root/repo/src/graph/../engine/protocol.hpp \
  /root/repo/src/graph/../graph/id_order.hpp \
  /root/repo/src/graph/../engine/sync_runner.hpp \
+ /root/repo/src/graph/../engine/runner_telemetry.hpp \
+ /root/repo/src/graph/../telemetry/telemetry.hpp \
+ /root/repo/src/graph/../telemetry/event_log.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/graph/../telemetry/json.hpp \
+ /root/repo/src/graph/../telemetry/metrics.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/graph/../telemetry/registry.hpp \
+ /root/repo/src/graph/../telemetry/timer.hpp /usr/include/c++/12/chrono \
  /root/repo/src/graph/../engine/view_builder.hpp \
  /root/repo/src/graph/../graph/generators.hpp \
  /root/repo/src/graph/../graph/geometry.hpp /usr/include/c++/12/cmath \

@@ -329,6 +329,14 @@ tests/CMakeFiles/integration_tests.dir/integration/test_beacon_vs_abstract.cpp.o
  /root/repo/src/graph/../graph/rng.hpp \
  /root/repo/src/graph/../engine/protocol.hpp \
  /root/repo/src/graph/../graph/id_order.hpp \
+ /root/repo/src/graph/../telemetry/telemetry.hpp \
+ /root/repo/src/graph/../telemetry/event_log.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/graph/../telemetry/json.hpp \
+ /root/repo/src/graph/../telemetry/metrics.hpp \
+ /root/repo/src/graph/../telemetry/registry.hpp \
+ /root/repo/src/graph/../telemetry/timer.hpp /usr/include/c++/12/chrono \
  /root/repo/src/graph/../analysis/verifiers.hpp \
  /root/repo/src/graph/../core/bfs_tree.hpp \
  /root/repo/src/graph/../core/coloring.hpp \
@@ -338,5 +346,6 @@ tests/CMakeFiles/integration_tests.dir/integration/test_beacon_vs_abstract.cpp.o
  /root/repo/src/graph/../core/sis.hpp \
  /root/repo/src/graph/../core/smm.hpp \
  /root/repo/src/graph/../engine/sync_runner.hpp \
+ /root/repo/src/graph/../engine/runner_telemetry.hpp \
  /root/repo/src/graph/../engine/view_builder.hpp \
  /root/repo/src/graph/../graph/generators.hpp

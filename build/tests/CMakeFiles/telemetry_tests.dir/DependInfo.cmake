@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/telemetry/test_event_log.cpp" "tests/CMakeFiles/telemetry_tests.dir/telemetry/test_event_log.cpp.o" "gcc" "tests/CMakeFiles/telemetry_tests.dir/telemetry/test_event_log.cpp.o.d"
+  "/root/repo/tests/telemetry/test_executor_parity.cpp" "tests/CMakeFiles/telemetry_tests.dir/telemetry/test_executor_parity.cpp.o" "gcc" "tests/CMakeFiles/telemetry_tests.dir/telemetry/test_executor_parity.cpp.o.d"
+  "/root/repo/tests/telemetry/test_json.cpp" "tests/CMakeFiles/telemetry_tests.dir/telemetry/test_json.cpp.o" "gcc" "tests/CMakeFiles/telemetry_tests.dir/telemetry/test_json.cpp.o.d"
+  "/root/repo/tests/telemetry/test_metrics.cpp" "tests/CMakeFiles/telemetry_tests.dir/telemetry/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/telemetry_tests.dir/telemetry/test_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/selfstab_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/selfstab_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/selfstab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/selfstab_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/adhoc/CMakeFiles/selfstab_adhoc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_tests.dir/telemetry/test_event_log.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry/test_event_log.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry/test_executor_parity.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry/test_executor_parity.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry/test_json.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry/test_json.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry/test_metrics.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry/test_metrics.cpp.o.d"
+  "telemetry_tests"
+  "telemetry_tests.pdb"
+  "telemetry_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -7,6 +7,7 @@
 include("/root/repo/build/tests/graph_tests[1]_include.cmake")
 include("/root/repo/build/tests/engine_tests[1]_include.cmake")
 include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/telemetry_tests[1]_include.cmake")
 include("/root/repo/build/tests/analysis_tests[1]_include.cmake")
 include("/root/repo/build/tests/cli_tests[1]_include.cmake")
 include("/root/repo/build/tests/adhoc_tests[1]_include.cmake")

@@ -17,6 +17,18 @@ cmake --build "$BUILD_DIR"
 ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 \
   | tee "$ROOT/test_output.txt"
 
+# ThreadSanitizer pass over the concurrency-sensitive suites: the telemetry
+# instruments (lock-free counters shared by the worker pool) and the
+# parallel runner itself. A separate build dir keeps sanitizer objects out
+# of the main build.
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -B "$TSAN_DIR" -G Ninja -S "$ROOT" -DSELFSTAB_SANITIZE=thread
+cmake --build "$TSAN_DIR" --target telemetry_tests engine_tests
+{
+  "$TSAN_DIR/tests/telemetry_tests"
+  "$TSAN_DIR/tests/engine_tests" --gtest_filter='ParallelRunner.*'
+} 2>&1 | tee "$ROOT/tsan_output.txt"
+
 : > "$ROOT/bench_output.txt"
 status=0
 for b in "$BUILD_DIR"/bench/*; do

@@ -29,6 +29,7 @@
 #include "graph/geometry.hpp"
 #include "graph/id_order.hpp"
 #include "graph/rng.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace selfstab::adhoc {
 
@@ -101,6 +102,35 @@ class NetworkSimulator {
     }
   }
 
+  /// Attaches metric/event sinks (either may be null; pass nulls to
+  /// detach). Counters shadow NetworkStats increment-for-increment, so a
+  /// registry dump always agrees with stats() exactly. The event log
+  /// receives "move", "neighbor_expired", and "reboot" records keyed by
+  /// simulated time — never wall clock — so logs stay reproducible.
+  void attachTelemetry(telemetry::Registry* registry,
+                       telemetry::EventLog* events = nullptr) {
+    events_ = events;
+    if (registry == nullptr) {
+      metrics_ = Metrics{};
+      return;
+    }
+    namespace names = telemetry::names;
+    metrics_.beaconsSent = &registry->counter(names::kBeaconsSent);
+    metrics_.beaconsDelivered = &registry->counter(names::kBeaconsDelivered);
+    metrics_.beaconsLost = &registry->counter(names::kBeaconsLost);
+    metrics_.beaconsCollided = &registry->counter(names::kBeaconsCollided);
+    metrics_.moves = &registry->counter(names::kMovesTotal);
+    metrics_.neighborExpirations =
+        &registry->counter(names::kNeighborExpirations);
+    metrics_.cacheSize = &registry->histogram(names::kNeighborCacheSize,
+                                              telemetry::sizeBuckets());
+    // A node's beacon-interval work (expiry sweep, rule evaluation,
+    // broadcast) is its share of one paper-round; that is the latency this
+    // histogram tracks in the beacon model.
+    metrics_.roundDuration = &registry->histogram(
+        names::kRoundDuration, telemetry::durationBuckets());
+  }
+
   /// Runs until simulated time `until`.
   void run(SimTime until) {
     while (!queue_.empty() && queue_.nextTime() <= until) {
@@ -142,6 +172,9 @@ class NetworkSimulator {
     nodes_[v].state = protocol_->initialState(v);
     nodes_[v].cache.clear();
     lastMove_ = queue_.now();
+    if (events_ != nullptr) {
+      events_->emit("reboot", {{"t_us", queue_.now()}, {"node", v}});
+    }
   }
 
   [[nodiscard]] std::vector<State> states() const {
@@ -214,6 +247,7 @@ class NetworkSimulator {
   }
 
   void onBeaconTimer(graph::Vertex v) {
+    const telemetry::ScopedTimer roundTimer(metrics_.roundDuration);
     const SimTime now = queue_.now();
     Node& node = nodes_[v];
 
@@ -222,10 +256,20 @@ class NetworkSimulator {
         config_.timeoutFactor * static_cast<double>(config_.beaconInterval));
     for (auto it = node.cache.begin(); it != node.cache.end();) {
       if (now - it->second.heardAt > timeout) {
+        if (metrics_.neighborExpirations != nullptr) {
+          metrics_.neighborExpirations->inc();
+        }
+        if (events_ != nullptr) {
+          events_->emit("neighbor_expired",
+                        {{"t_us", now}, {"node", v}, {"neighbor", it->first}});
+        }
         it = node.cache.erase(it);
       } else {
         ++it;
       }
+    }
+    if (metrics_.cacheSize != nullptr) {
+      metrics_.cacheSize->observe(static_cast<double>(node.cache.size()));
     }
 
     // Act on the beacons gathered this round (the paper: a node takes action
@@ -246,6 +290,10 @@ class NetworkSimulator {
     if (auto next = protocol_->onRound(view)) {
       node.state = std::move(*next);
       ++stats_.moves;
+      if (metrics_.moves != nullptr) metrics_.moves->inc();
+      if (events_ != nullptr) {
+        events_->emit("move", {{"t_us", now}, {"node", v}});
+      }
       lastMove_ = now;
     }
 
@@ -259,10 +307,14 @@ class NetworkSimulator {
       if (graph::squaredDistance(me, other) > r2) continue;
       if (rng_.chance(config_.lossProbability)) {
         ++stats_.beaconsLost;
+        if (metrics_.beaconsLost != nullptr) metrics_.beaconsLost->inc();
         continue;
       }
       if (config_.collisionWindow > 0 && collidesAt(u, v, other, now)) {
         ++stats_.beaconsCollided;
+        if (metrics_.beaconsCollided != nullptr) {
+          metrics_.beaconsCollided->inc();
+        }
         continue;
       }
       queue_.schedule(now + config_.propagationDelay,
@@ -270,6 +322,7 @@ class NetworkSimulator {
     }
     lastTx_[v] = now;
     ++stats_.beaconsSent;
+    if (metrics_.beaconsSent != nullptr) metrics_.beaconsSent->inc();
 
     // Next beacon with jitter.
     const double jitter =
@@ -283,6 +336,9 @@ class NetworkSimulator {
   void onDelivery(const Delivery& d) {
     nodes_[d.to].cache[d.from] = CacheEntry{d.payload, queue_.now()};
     ++stats_.beaconsDelivered;
+    if (metrics_.beaconsDelivered != nullptr) {
+      metrics_.beaconsDelivered->inc();
+    }
   }
 
   /// MAC collision check for a beacon sent by `sender` at `now` towards the
@@ -310,6 +366,19 @@ class NetworkSimulator {
                                          : config_.perNodeRadius[v];
   }
 
+  /// Resolved registry endpoints; all null when telemetry is disabled, in
+  /// which case the simulator performs no clock reads or atomic writes.
+  struct Metrics {
+    telemetry::Counter* beaconsSent = nullptr;
+    telemetry::Counter* beaconsDelivered = nullptr;
+    telemetry::Counter* beaconsLost = nullptr;
+    telemetry::Counter* beaconsCollided = nullptr;
+    telemetry::Counter* moves = nullptr;
+    telemetry::Counter* neighborExpirations = nullptr;
+    telemetry::Histogram* cacheSize = nullptr;
+    telemetry::Histogram* roundDuration = nullptr;
+  };
+
   const engine::Protocol<State>* protocol_;
   const graph::IdAssignment* ids_;
   Mobility* mobility_;
@@ -319,6 +388,8 @@ class NetworkSimulator {
   std::vector<SimTime> lastTx_;
   EventQueue<Event> queue_;
   NetworkStats stats_;
+  Metrics metrics_;
+  telemetry::EventLog* events_ = nullptr;
   SimTime lastMove_ = 0;
   std::vector<engine::NeighborRef<State>> neighborBuffer_;
 };

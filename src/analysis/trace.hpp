@@ -6,8 +6,8 @@
 // construction, rows are validated against them.
 #pragma once
 
-#include <cassert>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -18,9 +18,15 @@ class RoundTrace {
   explicit RoundTrace(std::vector<std::string> columns)
       : columns_(std::move(columns)) {}
 
-  /// Appends one row; must match the column count.
+  /// Appends one row. Throws std::invalid_argument on a column-count
+  /// mismatch — a ragged row silently recorded would corrupt every CSV
+  /// consumer downstream, so this is enforced in release builds too.
   void addRow(std::vector<double> values) {
-    assert(values.size() == columns_.size());
+    if (values.size() != columns_.size()) {
+      throw std::invalid_argument(
+          "RoundTrace::addRow: got " + std::to_string(values.size()) +
+          " value(s) for " + std::to_string(columns_.size()) + " column(s)");
+    }
     rows_.push_back(std::move(values));
   }
 

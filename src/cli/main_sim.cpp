@@ -15,7 +15,11 @@ int main(int argc, char** argv) {
       return 0;
     }
     const SimReport report = executeSim(options, std::cout);
-    printSimReport(report, std::cout);
+    if (options.json) {
+      printSimReportJson(report, std::cout);
+    } else {
+      printSimReport(report, std::cout);
+    }
     return report.predicateOk ? 0 : 2;
   } catch (const CliError& e) {
     std::cerr << "error: " << e.what() << '\n';

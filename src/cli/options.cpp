@@ -164,6 +164,10 @@ Options parseOptions(const std::vector<std::string>& args) {
       options.csvPath = next(i, arg);
     } else if (arg == "--save-graph") {
       options.saveGraphPath = next(i, arg);
+    } else if (arg == "--metrics") {
+      options.metricsPath = next(i, arg);
+    } else if (arg == "--events") {
+      options.eventsPath = next(i, arg);
     } else {
       fail("unknown argument '" + arg + "' (try --help)");
     }
@@ -189,6 +193,8 @@ usage: selfstab [options]
   --dot PATH      write the final graph + solution as Graphviz DOT
   --csv PATH      write a per-round CSV trace (round, moves, size)
   --save-graph P  write the (possibly generated) topology as an edge list
+  --metrics PATH  dump run telemetry as JSON + Prometheus text ("-" = stdout)
+  --events PATH   write a JSONL event log ("-" = stdout)
   --help, -h      this text
 
 examples:

@@ -62,6 +62,8 @@ struct Options {
   std::string dotPath;        ///< write final graph+solution as DOT
   std::string csvPath;        ///< write a per-round CSV trace
   std::string saveGraphPath;  ///< write the topology as an edge list
+  std::string metricsPath;    ///< dump telemetry (JSON + Prometheus); "-" = stdout
+  std::string eventsPath;     ///< JSONL event log; "-" = stdout
   bool help = false;
 };
 

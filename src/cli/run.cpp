@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
 #include "analysis/trace.hpp"
 #include "analysis/verifiers.hpp"
+#include "cli/metrics_io.hpp"
 #include "core/bfs_tree.hpp"
 #include "core/coloring.hpp"
 #include "core/dominating_set.hpp"
@@ -26,6 +28,12 @@ namespace {
 using graph::Graph;
 using graph::IdAssignment;
 using graph::Vertex;
+
+/// Optional telemetry sinks threaded from execute() into every driver.
+struct Sinks {
+  telemetry::Registry* registry = nullptr;
+  telemetry::EventLog* events = nullptr;
+};
 
 /// Writes the final graph with per-vertex / per-edge annotations.
 void writeAnnotatedDot(std::ostream& out, const Graph& g,
@@ -66,12 +74,13 @@ void maybeWriteDot(const Options& options, const Graph& g,
 /// configuration to the solution size recorded in the CSV trace (matched
 /// pairs, set members, colors, tree depth, ...).
 template <typename State, typename Sampler, typename Metric>
-std::vector<State> drive(const Options& options,
+std::vector<State> drive(const Options& options, const Sinks& sinks,
                          const engine::Protocol<State>& protocol,
                          const Graph& g, const IdAssignment& ids,
                          std::size_t autoBudget, Sampler sampler,
                          Metric metric, std::ostream& out, Report& report) {
   engine::SyncRunner<State> runner(protocol, g, ids, options.seed);
+  runner.attachTelemetry(sinks.registry, sinks.events);
   std::vector<State> states;
   if (options.start == StartKind::Clean) {
     states = runner.initialStates();
@@ -131,7 +140,7 @@ auto membershipMetric() {
   };
 }
 
-Report runMatching(const Options& options, const Graph& g,
+Report runMatching(const Options& options, const Sinks& sinks, const Graph& g,
                    const IdAssignment& ids, std::ostream& out) {
   Report report;
   std::vector<core::PointerState> states;
@@ -140,13 +149,13 @@ Report runMatching(const Options& options, const Graph& g,
   if (options.protocol == ProtocolKind::Smm) {
     const core::SmmProtocol smm = core::smmPaper();
     report.protocol = std::string(smm.name());
-    states = drive(options, smm, g, ids, budget, core::randomPointerState,
+    states = drive(options, sinks, smm, g, ids, budget, core::randomPointerState,
                    matchingMetric(g), out, report);
   } else if (options.protocol == ProtocolKind::SmmArbitrary) {
     const core::SmmProtocol broken =
         core::smmArbitrary(core::Choice::Successor);
     report.protocol = std::string(broken.name());
-    states = drive(options, broken, g, ids, 4 * g.order() + 64,
+    states = drive(options, sinks, broken, g, ids, 4 * g.order() + 64,
                    core::randomPointerState, matchingMetric(g), out, report);
     if (!report.stabilized) {
       // Deterministic protocol: certify the livelock by finding the cycle.
@@ -162,7 +171,7 @@ Report runMatching(const Options& options, const Graph& g,
     const core::Synchronized<core::SmmProtocol> wrapped(core::Choice::First,
                                                         core::Choice::First);
     report.protocol = std::string(wrapped.name());
-    states = drive(options, wrapped, g, ids, 64 * g.order() + 256,
+    states = drive(options, sinks, wrapped, g, ids, 64 * g.order() + 256,
                    core::randomPointerState, matchingMetric(g), out, report);
   }
 
@@ -184,12 +193,12 @@ Report runMatching(const Options& options, const Graph& g,
   return report;
 }
 
-Report runSis(const Options& options, const Graph& g, const IdAssignment& ids,
-              std::ostream& out) {
+Report runSis(const Options& options, const Sinks& sinks, const Graph& g,
+              const IdAssignment& ids, std::ostream& out) {
   Report report;
   const core::SisProtocol sis;
   report.protocol = std::string(sis.name());
-  auto states = drive(options, sis, g, ids, g.order() + 1,
+  auto states = drive(options, sinks, sis, g, ids, g.order() + 1,
                       core::randomBitState, membershipMetric<core::BitState>(),
                       out, report);
   const auto members = analysis::membersOf(states);
@@ -207,13 +216,13 @@ Report runSis(const Options& options, const Graph& g, const IdAssignment& ids,
   return report;
 }
 
-Report runColoring(const Options& options, const Graph& g,
+Report runColoring(const Options& options, const Sinks& sinks, const Graph& g,
                    const IdAssignment& ids, std::ostream& out) {
   Report report;
   const core::ColoringProtocol coloring;
   report.protocol = std::string(coloring.name());
   auto states = drive(
-      options, coloring, g, ids, g.order() + 1, core::randomColorState,
+      options, sinks, coloring, g, ids, g.order() + 1, core::randomColorState,
       [](const std::vector<core::ColorState>& st) {
         return static_cast<double>(analysis::colorCount(st));
       },
@@ -239,12 +248,13 @@ Report runColoring(const Options& options, const Graph& g,
   return report;
 }
 
-Report runDominatingSet(const Options& options, const Graph& g,
-                        const IdAssignment& ids, std::ostream& out) {
+Report runDominatingSet(const Options& options, const Sinks& sinks,
+                        const Graph& g, const IdAssignment& ids,
+                        std::ostream& out) {
   Report report;
   const core::Synchronized<core::DominatingSetProtocol> dom;
   report.protocol = std::string(dom.name());
-  auto states = drive(options, dom, g, ids, 64 * g.order() + 256,
+  auto states = drive(options, sinks, dom, g, ids, 64 * g.order() + 256,
                       core::randomDomState,
                       membershipMetric<core::DomState>(), out, report);
   const auto members = analysis::membersOf(states);
@@ -262,8 +272,9 @@ Report runDominatingSet(const Options& options, const Graph& g,
   return report;
 }
 
-Report runBfsTree(const Options& options, const Graph& g,
-                  const IdAssignment& ids, std::ostream& out) {
+Report runBfsTree(const Options& options, const Sinks& sinks,
+                  const Graph& g, const IdAssignment& ids,
+                  std::ostream& out) {
   Report report;
   // Root: the vertex holding the smallest ID (deterministic under every
   // --ids mode).
@@ -276,7 +287,7 @@ Report runBfsTree(const Options& options, const Graph& g,
   const core::BfsTreeProtocol bfs(ids.idOf(root), cap);
   report.protocol = std::string(bfs.name());
   auto states = drive(
-      options, bfs, g, ids, 3 * g.order() + 8, core::randomTreeState,
+      options, sinks, bfs, g, ids, 3 * g.order() + 8, core::randomTreeState,
       [cap](const std::vector<core::TreeState>& st) {
         std::uint32_t depth = 0;
         for (const auto& t : st) {
@@ -309,15 +320,16 @@ Report runBfsTree(const Options& options, const Graph& g,
   return report;
 }
 
-Report runLeaderTree(const Options& options, const Graph& g,
-                     const IdAssignment& ids, std::ostream& out) {
+Report runLeaderTree(const Options& options, const Sinks& sinks,
+                     const Graph& g, const IdAssignment& ids,
+                     std::ostream& out) {
   Report report;
   const auto cap = static_cast<std::uint32_t>(std::max<std::size_t>(
       g.order(), 1));
   const core::LeaderTreeProtocol protocol(cap);
   report.protocol = std::string(protocol.name());
   auto states = drive(
-      options, protocol, g, ids, 3 * g.order() + 8, core::randomLeaderState,
+      options, sinks, protocol, g, ids, 3 * g.order() + 8, core::randomLeaderState,
       [](const std::vector<core::LeaderState>& st) {
         std::uint32_t depth = 0;
         for (const auto& t : st) depth = std::max(depth, t.dist);
@@ -420,31 +432,41 @@ Report execute(const Options& options, std::ostream& out) {
   }
   const IdAssignment ids = buildIds(options.idOrder, g.order(), options.seed);
 
+  // Telemetry is opt-in: with neither flag given the runners see null sinks
+  // and instrument nothing.
+  std::optional<telemetry::Registry> registry;
+  if (!options.metricsPath.empty()) registry.emplace();
+  EventSink events(options.eventsPath, out);
+  Sinks sinks{registry.has_value() ? &*registry : nullptr, events.get()};
+
   Report report;
   switch (options.protocol) {
     case ProtocolKind::Smm:
     case ProtocolKind::SmmArbitrary:
     case ProtocolKind::HsuHuangSync:
-      report = runMatching(options, g, ids, out);
+      report = runMatching(options, sinks, g, ids, out);
       break;
     case ProtocolKind::Sis:
-      report = runSis(options, g, ids, out);
+      report = runSis(options, sinks, g, ids, out);
       break;
     case ProtocolKind::Coloring:
-      report = runColoring(options, g, ids, out);
+      report = runColoring(options, sinks, g, ids, out);
       break;
     case ProtocolKind::DominatingSet:
-      report = runDominatingSet(options, g, ids, out);
+      report = runDominatingSet(options, sinks, g, ids, out);
       break;
     case ProtocolKind::BfsTree:
-      report = runBfsTree(options, g, ids, out);
+      report = runBfsTree(options, sinks, g, ids, out);
       break;
     case ProtocolKind::LeaderTree:
-      report = runLeaderTree(options, g, ids, out);
+      report = runLeaderTree(options, sinks, g, ids, out);
       break;
   }
   report.n = g.order();
   report.m = g.size();
+  if (registry.has_value()) {
+    writeMetricsDump(*registry, options.metricsPath, out);
+  }
   return report;
 }
 

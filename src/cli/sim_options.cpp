@@ -118,6 +118,12 @@ SimOptions parseSimOptions(const std::vector<std::string>& args) {
       options.reportEvery = secondsToSimTime(next(i, arg), "report-sec");
     } else if (arg == "--no-early-stop") {
       options.untilQuiet = false;
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--metrics") {
+      options.metricsPath = next(i, arg);
+    } else if (arg == "--events") {
+      options.eventsPath = next(i, arg);
     } else {
       fail("unknown argument '" + arg + "' (try --help)");
     }
@@ -144,6 +150,9 @@ usage: selfstab-sim [options]
   --duration-sec   simulated time budget                 [default: 60]
   --report-sec     timeline row interval                 [default: 10]
   --no-early-stop  run the full duration even if quiet
+  --json           emit the final report as JSON (suppresses the timeline)
+  --metrics PATH   dump run telemetry as JSON + Prometheus text ("-" = stdout)
+  --events PATH    write a JSONL event log ("-" = stdout)
   --help, -h       this text
 
 examples:

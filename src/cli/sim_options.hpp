@@ -35,6 +35,10 @@ struct SimOptions {
   adhoc::SimTime reportEvery = 10 * adhoc::kSecond;
   bool untilQuiet = true;  ///< stop early once the protocol quiesces
 
+  bool json = false;          ///< machine-readable SimReport instead of prose
+  std::string metricsPath;    ///< dump telemetry (JSON + Prometheus); "-" = stdout
+  std::string eventsPath;     ///< JSONL event log; "-" = stdout
+
   bool help = false;
 };
 

@@ -2,11 +2,13 @@
 
 #include <iomanip>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
 #include "adhoc/network.hpp"
 #include "analysis/verifiers.hpp"
+#include "cli/metrics_io.hpp"
 #include "core/leader_tree.hpp"
 #include "core/sis.hpp"
 #include "core/smm.hpp"
@@ -48,15 +50,20 @@ adhoc::NetworkConfig makeConfig(const SimOptions& options) {
 /// `describe` evaluate the final configuration against the ground-truth
 /// bidirectional topology.
 template <typename State, typename Verify, typename Describe>
-SimReport driveSim(const SimOptions& options,
+SimReport driveSim(const SimOptions& options, telemetry::Registry* registry,
+                   telemetry::EventLog* events,
                    const engine::Protocol<State>& protocol,
                    const graph::IdAssignment& ids, Verify verify,
                    Describe describe, std::ostream& out) {
   auto mobility = makeMobility(options);
   adhoc::NetworkSimulator<State> sim(protocol, ids, *mobility,
                                      makeConfig(options));
+  sim.attachTelemetry(registry, events);
 
-  out << "time(s)  links  moves  beacons(sent/lost/coll)\n";
+  // --json wants a single machine-readable document on stdout, so the
+  // human timeline is suppressed.
+  const bool timeline = !options.json;
+  if (timeline) out << "time(s)  links  moves  beacons(sent/lost/coll)\n";
   const SimTime quietWindow = 5 * options.beaconInterval;
   bool quiet = false;
   for (SimTime t = options.reportEvery; t <= options.duration;
@@ -67,11 +74,13 @@ SimReport driveSim(const SimOptions& options,
     } else {
       sim.run(t);
     }
-    const auto& stats = sim.stats();
-    out << std::setw(7) << sim.now() / adhoc::kSecond << "  " << std::setw(5)
-        << sim.currentTopology().size() << "  " << std::setw(5) << stats.moves
-        << "  " << stats.beaconsSent << "/" << stats.beaconsLost << "/"
-        << stats.beaconsCollided << '\n';
+    if (timeline) {
+      const auto& stats = sim.stats();
+      out << std::setw(7) << sim.now() / adhoc::kSecond << "  " << std::setw(5)
+          << sim.currentTopology().size() << "  " << std::setw(5)
+          << stats.moves << "  " << stats.beaconsSent << "/"
+          << stats.beaconsLost << "/" << stats.beaconsCollided << '\n';
+    }
     if (quiet) break;
   }
 
@@ -92,6 +101,13 @@ SimReport driveSim(const SimOptions& options,
   report.beaconsLost = stats.beaconsLost;
   report.beaconsCollided = stats.beaconsCollided;
   report.moves = stats.moves;
+  report.rounds = static_cast<std::size_t>(sim.now() / options.beaconInterval);
+  if (registry != nullptr) {
+    // The paper counts rounds as whole beacon intervals; finalize the
+    // counter here so it equals SimReport::rounds exactly.
+    registry->counter(telemetry::names::kRoundsTotal)
+        .inc(static_cast<std::uint64_t>(report.rounds));
+  }
   return report;
 }
 
@@ -101,11 +117,17 @@ SimReport executeSim(const SimOptions& options, std::ostream& out) {
   const graph::IdAssignment ids =
       graph::IdAssignment::identity(options.nodes);
 
+  std::optional<telemetry::Registry> registry;
+  if (!options.metricsPath.empty()) registry.emplace();
+  EventSink events(options.eventsPath, out);
+  telemetry::Registry* reg = registry.has_value() ? &*registry : nullptr;
+
+  SimReport report;
   switch (options.protocol) {
     case SimProtocolKind::Smm: {
       const core::SmmProtocol smm = core::smmPaper();
-      return driveSim<core::PointerState>(
-          options, smm, ids,
+      report = driveSim<core::PointerState>(
+          options, reg, events.get(), smm, ids,
           [](const graph::Graph& g,
              const std::vector<core::PointerState>& states) {
             return analysis::checkMatchingFixpoint(g, states).ok();
@@ -118,11 +140,12 @@ SimReport executeSim(const SimOptions& options, std::ostream& out) {
             return ss.str();
           },
           out);
+      break;
     }
     case SimProtocolKind::Sis: {
       const core::SisProtocol sis;
-      return driveSim<core::BitState>(
-          options, sis, ids,
+      report = driveSim<core::BitState>(
+          options, reg, events.get(), sis, ids,
           [](const graph::Graph& g,
              const std::vector<core::BitState>& states) {
             return analysis::isMaximalIndependentSet(
@@ -136,12 +159,13 @@ SimReport executeSim(const SimOptions& options, std::ostream& out) {
             return ss.str();
           },
           out);
+      break;
     }
     case SimProtocolKind::LeaderTree: {
       const core::LeaderTreeProtocol protocol(
           static_cast<std::uint32_t>(options.nodes));
-      return driveSim<core::LeaderState>(
-          options, protocol, ids,
+      report = driveSim<core::LeaderState>(
+          options, reg, events.get(), protocol, ids,
           [](const graph::Graph& g,
              const std::vector<core::LeaderState>& states) {
             const graph::IdAssignment identity =
@@ -162,9 +186,36 @@ SimReport executeSim(const SimOptions& options, std::ostream& out) {
             return ss.str();
           },
           out);
+      break;
     }
+    default:
+      throw CliError("unhandled protocol");
   }
-  throw CliError("unhandled protocol");
+  if (registry.has_value()) {
+    writeMetricsDump(*registry, options.metricsPath, out);
+  }
+  return report;
+}
+
+void printSimReportJson(const SimReport& report, std::ostream& out) {
+  telemetry::JsonWriter w(out);
+  w.beginObject();
+  w.key("protocol").value(report.protocol);
+  w.key("nodes").value(static_cast<std::uint64_t>(report.nodes));
+  w.key("endTimeUs").value(static_cast<std::int64_t>(report.endTime));
+  w.key("rounds").value(static_cast<std::uint64_t>(report.rounds));
+  w.key("quiet").value(report.quiet);
+  w.key("predicateOk").value(report.predicateOk);
+  w.key("beaconsSent").value(static_cast<std::uint64_t>(report.beaconsSent));
+  w.key("beaconsDelivered")
+      .value(static_cast<std::uint64_t>(report.beaconsDelivered));
+  w.key("beaconsLost").value(static_cast<std::uint64_t>(report.beaconsLost));
+  w.key("beaconsCollided")
+      .value(static_cast<std::uint64_t>(report.beaconsCollided));
+  w.key("moves").value(static_cast<std::uint64_t>(report.moves));
+  w.key("summary").value(report.summary);
+  w.endObject();
+  out << '\n';
 }
 
 void printSimReport(const SimReport& report, std::ostream& out) {
@@ -179,6 +230,7 @@ void printSimReport(const SimReport& report, std::ostream& out) {
       << report.beaconsDelivered << " delivered, " << report.beaconsLost
       << " lost, " << report.beaconsCollided << " collided\n"
       << "moves       : " << report.moves << '\n'
+      << "rounds      : " << report.rounds << '\n'
       << "result      : " << report.summary << '\n'
       << "verified    : " << (report.predicateOk ? "yes" : "NO") << '\n';
 }

@@ -19,6 +19,7 @@ struct SimReport {
   std::size_t beaconsLost = 0;
   std::size_t beaconsCollided = 0;
   std::size_t moves = 0;
+  std::size_t rounds = 0;  ///< whole beacon intervals elapsed (paper rounds)
   std::string summary;
 };
 
@@ -28,5 +29,8 @@ struct SimReport {
                                    std::ostream& out);
 
 void printSimReport(const SimReport& report, std::ostream& out);
+
+/// Machine-readable form of the same report: one JSON object (--json).
+void printSimReportJson(const SimReport& report, std::ostream& out);
 
 }  // namespace selfstab::cli

@@ -16,7 +16,9 @@
 // core/ except those two are stateless evaluators.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
@@ -25,6 +27,7 @@
 #include <vector>
 
 #include "engine/protocol.hpp"
+#include "engine/runner_telemetry.hpp"
 #include "engine/sync_runner.hpp"
 #include "engine/view_builder.hpp"
 
@@ -41,6 +44,7 @@ class ParallelSyncRunner {
         ids_(&ids),
         runSeed_(runSeed),
         threadCount_(threads == 0 ? 1 : threads) {
+    workerSeconds_.assign(threadCount_, 0.0);
     workers_.reserve(threadCount_);
     for (std::size_t t = 0; t < threadCount_; ++t) {
       workers_.emplace_back([this, t] { workerLoop(t); });
@@ -60,13 +64,30 @@ class ParallelSyncRunner {
     for (auto& worker : workers_) worker.join();
   }
 
+  /// Attaches metric/event sinks (either may be null). The registration
+  /// handshake goes through the worker mutex, so calling this between
+  /// rounds is safe; calling it while step() is in flight is not.
+  /// Telemetry never changes the trajectory — workers bump shared lock-free
+  /// counters and time their own chunks, nothing more.
+  void attachTelemetry(telemetry::Registry* registry,
+                       telemetry::EventLog* events = nullptr) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    metrics_ = resolveRunnerMetrics(registry, /*parallel=*/true);
+    events_ = events;
+  }
+
   /// One synchronous round; identical semantics to SyncRunner::step.
   std::size_t step(std::vector<State>& states) {
-    snapshot_ = states;
+    const telemetry::ScopedTimer roundTimer(metrics_.roundDuration);
+    {
+      const telemetry::ScopedTimer t(metrics_.snapshotDuration);
+      snapshot_ = states;
+    }
     target_ = &states;
     roundKey_ = hashCombine(runSeed_, round_);
     moves_.store(0, std::memory_order_relaxed);
     pending_.store(threadCount_, std::memory_order_release);
+    const telemetry::ScopedTimer evaluateTimer(metrics_.evaluateDuration);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       ++generation_;
@@ -78,8 +99,20 @@ class ParallelSyncRunner {
         return pending_.load(std::memory_order_acquire) == 0;
       });
     }
+    // moves_total was already bumped by the workers (lock-free, per-chunk).
+    const std::size_t moves = moves_.load(std::memory_order_relaxed);
+    if (metrics_.rounds != nullptr) metrics_.rounds->inc();
+    if (metrics_.workerImbalance != nullptr) {
+      metrics_.workerImbalance->set(imbalanceRatio());
+    }
+    if (events_ != nullptr) {
+      events_->emit("round", {{"executor", "parallel"},
+                              {"round", round_},
+                              {"moves", moves},
+                              {"workers", threadCount_}});
+    }
     ++round_;
-    return moves_.load(std::memory_order_relaxed);
+    return moves;
   }
 
   /// Runs until fixpoint or maxRounds; same contract as SyncRunner::run
@@ -130,6 +163,9 @@ class ParallelSyncRunner {
       const std::size_t chunk = (n + threadCount_ - 1) / threadCount_;
       const std::size_t begin = index * chunk;
       const std::size_t end = std::min(n, begin + chunk);
+      const bool timed = metrics_.workerChunkDuration != nullptr;
+      std::chrono::steady_clock::time_point chunkStart;
+      if (timed) chunkStart = std::chrono::steady_clock::now();
       std::size_t localMoves = 0;
       for (std::size_t v = begin; v < end; ++v) {
         const auto view =
@@ -139,12 +175,38 @@ class ParallelSyncRunner {
           ++localMoves;
         }
       }
+      if (timed) {
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          chunkStart)
+                .count();
+        metrics_.workerChunkDuration->observe(seconds);
+        // Own slot only; the main thread reads after the pending_ barrier.
+        workerSeconds_[index] = seconds;
+      }
+      // Workers bump the shared counter directly — the lock-free contract
+      // the telemetry TSan run (scripts/run_all.sh) exercises.
+      if (metrics_.moves != nullptr) metrics_.moves->inc(localMoves);
       moves_.fetch_add(localMoves, std::memory_order_relaxed);
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         const std::lock_guard<std::mutex> lock(mutex_);
         done_.notify_one();
       }
     }
+  }
+
+  /// Load imbalance of the last round: slowest worker chunk over the mean
+  /// chunk time (1.0 = perfectly balanced). 0 until a timed round ran.
+  [[nodiscard]] double imbalanceRatio() const {
+    double sum = 0.0;
+    double worst = 0.0;
+    for (const double s : workerSeconds_) {
+      sum += s;
+      worst = std::max(worst, s);
+    }
+    if (sum <= 0.0) return 0.0;
+    const double mean = sum / static_cast<double>(workerSeconds_.size());
+    return worst / mean;
   }
 
   const Protocol<State>* protocol_;
@@ -165,6 +227,9 @@ class ParallelSyncRunner {
   std::condition_variable done_;
   std::uint64_t generation_ = 0;
   bool shutdown_ = false;
+  RunnerMetrics metrics_;
+  telemetry::EventLog* events_ = nullptr;
+  std::vector<double> workerSeconds_;
   std::vector<std::thread> workers_;
 };
 

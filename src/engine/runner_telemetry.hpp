@@ -1,0 +1,55 @@
+// Telemetry hookup shared by the two synchronous executors.
+//
+// Runners resolve registry names once at attach time and keep raw pointers,
+// so the per-round cost of enabled telemetry is atomic adds and clock
+// reads — and the cost of *disabled* telemetry is a null-pointer test per
+// instrument (ScopedTimer skips the clock entirely on a null sink).
+// Attaching is optional and never changes trajectories: telemetry observes
+// the execution, it does not participate in it.
+#pragma once
+
+#include "telemetry/telemetry.hpp"
+
+namespace selfstab::engine {
+
+/// Resolved metric endpoints; all null when telemetry is disabled.
+struct RunnerMetrics {
+  telemetry::Counter* rounds = nullptr;
+  telemetry::Counter* moves = nullptr;
+  telemetry::Histogram* roundDuration = nullptr;
+  telemetry::Histogram* snapshotDuration = nullptr;
+  telemetry::Histogram* evaluateDuration = nullptr;
+  telemetry::Histogram* commitDuration = nullptr;
+  telemetry::Histogram* workerChunkDuration = nullptr;  // parallel only
+  telemetry::Gauge* workerImbalance = nullptr;          // parallel only
+};
+
+/// `parallel` selects which phase instruments exist: the serial runner has
+/// a distinct commit phase; the parallel runner fuses evaluate+commit in
+/// its workers and instead reports per-worker chunk durations plus a
+/// max/mean imbalance gauge.
+[[nodiscard]] inline RunnerMetrics resolveRunnerMetrics(
+    telemetry::Registry* registry, bool parallel) {
+  RunnerMetrics m;
+  if (registry == nullptr) return m;
+  namespace names = telemetry::names;
+  m.rounds = &registry->counter(names::kRoundsTotal);
+  m.moves = &registry->counter(names::kMovesTotal);
+  m.roundDuration = &registry->histogram(names::kRoundDuration,
+                                         telemetry::durationBuckets());
+  m.snapshotDuration = &registry->histogram(names::kSnapshotDuration,
+                                            telemetry::durationBuckets());
+  m.evaluateDuration = &registry->histogram(names::kEvaluateDuration,
+                                            telemetry::durationBuckets());
+  if (parallel) {
+    m.workerChunkDuration = &registry->histogram(
+        names::kWorkerChunkDuration, telemetry::durationBuckets());
+    m.workerImbalance = &registry->gauge(names::kWorkerImbalance);
+  } else {
+    m.commitDuration = &registry->histogram(names::kCommitDuration,
+                                            telemetry::durationBuckets());
+  }
+  return m;
+}
+
+}  // namespace selfstab::engine

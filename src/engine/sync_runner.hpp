@@ -11,9 +11,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "engine/protocol.hpp"
+#include "engine/runner_telemetry.hpp"
 #include "engine/view_builder.hpp"
 #include "graph/rng.hpp"
 
@@ -55,20 +57,51 @@ class SyncRunner {
     return states;
   }
 
+  /// Attaches metric/event sinks (either may be null; pass nulls to
+  /// detach). Telemetry is purely observational — trajectories are
+  /// bit-identical with or without it — and with no registry attached
+  /// step() performs no clock reads or atomic writes at all.
+  void attachTelemetry(telemetry::Registry* registry,
+                       telemetry::EventLog* events = nullptr) {
+    metrics_ = resolveRunnerMetrics(registry, /*parallel=*/false);
+    events_ = events;
+  }
+
   /// Executes one synchronous round in place; returns the number of moves.
+  /// Three phases, each timed when telemetry is attached: *snapshot* (copy
+  /// S_t), *evaluate* (run every node's rules against the snapshot),
+  /// *commit* (apply the moves, forming S_{t+1}).
   std::size_t step(std::vector<State>& states) {
     assert(states.size() == builder_.graphRef().order());
+    const telemetry::ScopedTimer roundTimer(metrics_.roundDuration);
     const std::uint64_t key = roundKey(round_);
-    snapshot_ = states;
-    std::size_t moves = 0;
-    for (graph::Vertex v = 0; v < snapshot_.size(); ++v) {
-      const LocalView<State> view = builder_.build(v, snapshot_, key);
-      if (auto next = protocol_->onRound(view)) {
-        assert(!(*next == snapshot_[v]) &&
-               "a move must change the node's state");
-        states[v] = std::move(*next);
-        ++moves;
+    {
+      const telemetry::ScopedTimer t(metrics_.snapshotDuration);
+      snapshot_ = states;
+    }
+    pending_.clear();
+    {
+      const telemetry::ScopedTimer t(metrics_.evaluateDuration);
+      for (graph::Vertex v = 0; v < snapshot_.size(); ++v) {
+        const LocalView<State> view = builder_.build(v, snapshot_, key);
+        if (auto next = protocol_->onRound(view)) {
+          assert(!(*next == snapshot_[v]) &&
+                 "a move must change the node's state");
+          pending_.emplace_back(v, std::move(*next));
+        }
       }
+    }
+    {
+      const telemetry::ScopedTimer t(metrics_.commitDuration);
+      for (auto& [v, next] : pending_) states[v] = std::move(next);
+    }
+    const std::size_t moves = pending_.size();
+    if (metrics_.rounds != nullptr) metrics_.rounds->inc();
+    if (metrics_.moves != nullptr) metrics_.moves->inc(moves);
+    if (events_ != nullptr) {
+      events_->emit("round", {{"executor", "sync"},
+                              {"round", round_},
+                              {"moves", moves}});
     }
     ++round_;
     return moves;
@@ -139,6 +172,9 @@ class SyncRunner {
   std::uint64_t runSeed_;
   std::size_t round_ = 0;
   std::vector<State> snapshot_;
+  std::vector<std::pair<graph::Vertex, State>> pending_;
+  RunnerMetrics metrics_;
+  telemetry::EventLog* events_ = nullptr;
 };
 
 /// Convenience: clean start, run to fixpoint.

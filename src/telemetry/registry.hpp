@@ -1,0 +1,179 @@
+// Named metric registry with JSON and Prometheus text export.
+//
+// One Registry per run (the CLIs create one when --metrics is given; tests
+// create their own). Instruments are created on first use and live as long
+// as the Registry, so hot paths resolve a name once and keep the pointer —
+// the maps are touched only at registration time, under a mutex; the
+// instruments themselves are lock-free (metrics.hpp).
+//
+// Export formats:
+//  * writeJson: one JSON object {"counters":{...},"gauges":{...},
+//    "histograms":{...}} — the machine-readable run summary.
+//  * writePrometheus: text exposition format (# TYPE lines, cumulative
+//    le-labelled histogram buckets, _sum/_count) so a scrape endpoint or
+//    promtool can ingest the same numbers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace selfstab::telemetry {
+
+/// True for names matching [a-zA-Z_][a-zA-Z0-9_]* — valid in both the JSON
+/// dump and the Prometheus exposition format.
+[[nodiscard]] inline bool isValidMetricName(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  const auto alpha = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!alpha(name.front())) return false;
+  for (const char c : name) {
+    if (!alpha(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create. The returned reference is stable for the Registry's
+  /// lifetime. Throws std::invalid_argument on malformed names.
+  Counter& counter(std::string_view name) {
+    return getOrCreate(counters_, name, [] { return new Counter(); });
+  }
+
+  Gauge& gauge(std::string_view name) {
+    return getOrCreate(gauges_, name, [] { return new Gauge(); });
+  }
+
+  /// `bounds` applies on first creation; later calls with the same name
+  /// return the existing histogram regardless of bounds.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds) {
+    return getOrCreate(histograms_, name, [&] {
+      return new Histogram(std::move(bounds));
+    });
+  }
+
+  /// Convenience for tests and report plumbing: current value of a counter,
+  /// 0 if it was never registered.
+  [[nodiscard]] std::uint64_t counterValue(std::string_view name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(std::string(name));
+    return it == counters_.end() ? 0 : it->second->value();
+  }
+
+  [[nodiscard]] double gaugeValue(std::string_view name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = gauges_.find(std::string(name));
+    return it == gauges_.end() ? 0.0 : it->second->value();
+  }
+
+  [[nodiscard]] const Histogram* findHistogram(std::string_view name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histograms_.find(std::string(name));
+    return it == histograms_.end() ? nullptr : it->second.get();
+  }
+
+  void writeJson(std::ostream& out) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const auto& [name, c] : counters_) w.key(name).value(c->value());
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (const auto& [name, g] : gauges_) w.key(name).value(g->value());
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto& [name, h] : histograms_) {
+      w.key(name).beginObject();
+      w.key("bounds").beginArray();
+      for (const double b : h->bounds()) w.value(b);
+      w.endArray();
+      w.key("counts").beginArray();
+      for (const std::uint64_t c : h->counts()) w.value(c);
+      w.endArray();
+      w.key("sum").value(h->sum());
+      w.key("count").value(h->count());
+      w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    out << '\n';
+  }
+
+  void writePrometheus(std::ostream& out) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_) {
+      out << "# TYPE " << name << " counter\n"
+          << name << ' ' << c->value() << '\n';
+    }
+    for (const auto& [name, g] : gauges_) {
+      out << "# TYPE " << name << " gauge\n"
+          << name << ' ' << formatDouble(g->value()) << '\n';
+    }
+    for (const auto& [name, h] : histograms_) {
+      out << "# TYPE " << name << " histogram\n";
+      const auto counts = h->counts();
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+        cumulative += counts[i];
+        out << name << "_bucket{le=\"" << formatDouble(h->bounds()[i])
+            << "\"} " << cumulative << '\n';
+      }
+      cumulative += counts.back();
+      out << name << "_bucket{le=\"+Inf\"} " << cumulative << '\n'
+          << name << "_sum " << formatDouble(h->sum()) << '\n'
+          << name << "_count " << cumulative << '\n';
+    }
+  }
+
+ private:
+  template <typename Map, typename Make>
+  typename Map::mapped_type::element_type& getOrCreate(Map& map,
+                                                       std::string_view name,
+                                                       Make make) {
+    if (!isValidMetricName(name)) {
+      throw std::invalid_argument("invalid metric name '" +
+                                  std::string(name) + "'");
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map.find(std::string(name));
+    if (it == map.end()) {
+      it = map.emplace(std::string(name),
+                       typename Map::mapped_type(make()))
+               .first;
+    }
+    return *it->second;
+  }
+
+  [[nodiscard]] static std::string formatDouble(double v) {
+    std::ostringstream ss;
+    ss.precision(std::numeric_limits<double>::max_digits10);
+    ss << v;
+    return ss.str();
+  }
+
+  mutable std::mutex mutex_;
+  // std::map: export formats list metrics in sorted order, deterministically.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace selfstab::telemetry

@@ -1,0 +1,40 @@
+// Umbrella header for the telemetry subsystem.
+//
+// Metric names used across the repo are centralized here so the engines,
+// the beacon network, the CLIs, and the docs (docs/OBSERVABILITY.md) agree
+// on spelling. Everything is header-only; link selfstab_telemetry for the
+// include path.
+#pragma once
+
+#include "telemetry/event_log.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/timer.hpp"
+
+namespace selfstab::telemetry::names {
+
+// Executors (SyncRunner / ParallelSyncRunner).
+inline constexpr const char* kRoundsTotal = "rounds_total";
+inline constexpr const char* kMovesTotal = "moves_total";
+inline constexpr const char* kRoundDuration = "round_duration_seconds";
+inline constexpr const char* kSnapshotDuration =
+    "round_snapshot_duration_seconds";
+inline constexpr const char* kEvaluateDuration =
+    "round_evaluate_duration_seconds";
+inline constexpr const char* kCommitDuration =
+    "round_commit_duration_seconds";
+inline constexpr const char* kWorkerChunkDuration =
+    "worker_chunk_duration_seconds";
+inline constexpr const char* kWorkerImbalance = "worker_imbalance_ratio";
+
+// Beacon network (adhoc::NetworkSimulator).
+inline constexpr const char* kBeaconsSent = "beacons_sent_total";
+inline constexpr const char* kBeaconsDelivered = "beacons_delivered_total";
+inline constexpr const char* kBeaconsLost = "beacons_lost_total";
+inline constexpr const char* kBeaconsCollided = "beacons_collided_total";
+inline constexpr const char* kNeighborExpirations =
+    "neighbor_expirations_total";
+inline constexpr const char* kNeighborCacheSize = "neighbor_cache_size";
+
+}  // namespace selfstab::telemetry::names

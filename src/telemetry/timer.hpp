@@ -1,0 +1,59 @@
+// RAII wall-clock timing into latency histograms.
+//
+// ScopedTimer brackets a scope with std::chrono::steady_clock reads and
+// feeds the elapsed seconds to a Histogram on destruction. The histogram
+// pointer may be null — the disabled-telemetry case — and then the timer
+// does nothing at all, not even read the clock, so uninstrumented runs pay
+// a single predictable branch per scope (the zero-overhead contract
+// bench/micro_telemetry.cpp measures).
+#pragma once
+
+#include <chrono>
+
+#include "telemetry/metrics.hpp"
+
+namespace selfstab::telemetry {
+
+class ScopedTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit ScopedTimer(Histogram* sink) noexcept : sink_(sink) {
+    if (sink_ != nullptr) start_ = Clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (sink_ != nullptr) sink_->observe(elapsedSeconds());
+  }
+
+  /// Seconds since construction (0 when disabled). Usable mid-scope for
+  /// callers that also want the raw duration (per-worker imbalance).
+  [[nodiscard]] double elapsedSeconds() const noexcept {
+    if (sink_ == nullptr) return 0.0;
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  Histogram* sink_;
+  Clock::time_point start_{};
+};
+
+/// Free-standing stopwatch for call sites that need the duration as a value
+/// (e.g. to both observe it and compare across workers).
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(ScopedTimer::Clock::now()) {}
+
+  [[nodiscard]] double elapsedSeconds() const noexcept {
+    return std::chrono::duration<double>(ScopedTimer::Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  ScopedTimer::Clock::time_point start_;
+};
+
+}  // namespace selfstab::telemetry

@@ -42,6 +42,17 @@ TEST(RoundTrace, ColumnExtraction) {
   EXPECT_TRUE(trace.column("missing").empty());
 }
 
+TEST(RoundTrace, RejectsRowsWithWrongArity) {
+  RoundTrace trace({"round", "moves"});
+  EXPECT_THROW(trace.addRow({1}), std::invalid_argument);
+  EXPECT_THROW(trace.addRow({1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(trace.addRow({}), std::invalid_argument);
+  EXPECT_EQ(trace.rowCount(), 0u);
+  // A well-formed row still lands after rejected ones.
+  trace.addRow({1, 2});
+  EXPECT_EQ(trace.rowCount(), 1u);
+}
+
 TEST(RoundTrace, NonIntegerValuesKeepFraction) {
   RoundTrace trace({"x"});
   trace.addRow({0.25});

@@ -100,6 +100,17 @@ TEST(ParseOptions, EveryProtocolName) {
             ProtocolKind::LeaderTree);
 }
 
+TEST(ParseOptions, TelemetryFlags) {
+  const Options o =
+      parseOptions({"--metrics", "run.prom", "--events", "run.jsonl"});
+  EXPECT_EQ(o.metricsPath, "run.prom");
+  EXPECT_EQ(o.eventsPath, "run.jsonl");
+  EXPECT_TRUE(parseOptions({}).metricsPath.empty());
+  EXPECT_TRUE(parseOptions({}).eventsPath.empty());
+  EXPECT_THROW(parseOptions({"--metrics"}), CliError);
+  EXPECT_THROW(parseOptions({"--events"}), CliError);
+}
+
 TEST(ParseOptions, Help) {
   EXPECT_TRUE(parseOptions({"--help"}).help);
   EXPECT_TRUE(parseOptions({"-h"}).help);

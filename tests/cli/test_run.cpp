@@ -191,6 +191,74 @@ TEST(Execute, SaveGraphRoundTripsThroughFileSpec) {
   std::remove(path.c_str());
 }
 
+TEST(Execute, MetricsFileHoldsJsonAndPrometheus) {
+  const std::string path = ::testing::TempDir() + "/cli_metrics.txt";
+  std::ostringstream out;
+  Options options = makeOptions(ProtocolKind::Smm, "gnp:20:0.15");
+  options.start = StartKind::Random;
+  options.seed = 11;
+  options.metricsPath = path;
+  const Report r = execute(options, out);
+  EXPECT_TRUE(r.stabilized);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string text = content.str();
+  // The executor's counters agree with the report: moves exactly; rounds
+  // plus the final zero-move verification round.
+  EXPECT_NE(text.find("\"moves_total\":" + std::to_string(r.moves)),
+            std::string::npos);
+  EXPECT_NE(text.find("\"rounds_total\":" + std::to_string(r.rounds + 1)),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rounds_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE round_duration_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("round_snapshot_duration_seconds_count"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Execute, MetricsDashWritesToReportStream) {
+  std::ostringstream out;
+  Options options = makeOptions(ProtocolKind::Sis, "path:12");
+  options.metricsPath = "-";
+  const Report r = execute(options, out);
+  EXPECT_TRUE(r.stabilized);
+  EXPECT_NE(out.str().find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(out.str().find("rounds_total"), std::string::npos);
+}
+
+TEST(Execute, EventsFileIsOneRecordPerRound) {
+  const std::string path = ::testing::TempDir() + "/cli_events.jsonl";
+  std::ostringstream out;
+  Options options = makeOptions(ProtocolKind::Sis, "cycle:15");
+  options.eventsPath = path;
+  const Report r = execute(options, out);
+  EXPECT_TRUE(r.stabilized);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.rfind("{\"type\":\"round\",\"executor\":\"sync\",", 0), 0u)
+        << line;
+    ++lines;
+  }
+  // Counted rounds plus the final verification round.
+  EXPECT_EQ(lines, r.rounds + 1);
+  std::remove(path.c_str());
+}
+
+TEST(Execute, MetricsToUnwritablePathThrows) {
+  std::ostringstream out;
+  Options options = makeOptions(ProtocolKind::Sis, "path:5");
+  options.metricsPath = "/nonexistent/dir/metrics.txt";
+  EXPECT_THROW(execute(options, out), CliError);
+}
+
 TEST(PrintReport, RendersAllFields) {
   Report r;
   r.protocol = "smm";

@@ -122,6 +122,94 @@ TEST(ExecuteSim, NoEarlyStopRunsFullDuration) {
   EXPECT_TRUE(report.predicateOk);
 }
 
+TEST(ParseSimOptions, TelemetryFlags) {
+  const SimOptions o = parseSimOptions(
+      {"--json", "--metrics", "m.prom", "--events", "e.jsonl"});
+  EXPECT_TRUE(o.json);
+  EXPECT_EQ(o.metricsPath, "m.prom");
+  EXPECT_EQ(o.eventsPath, "e.jsonl");
+  EXPECT_FALSE(parseSimOptions({}).json);
+  EXPECT_THROW((void)parseSimOptions({"--metrics"}), CliError);
+  EXPECT_THROW((void)parseSimOptions({"--events"}), CliError);
+}
+
+TEST(ExecuteSim, MetricsDumpMatchesReportExactly) {
+  SimOptions options;
+  options.nodes = 15;
+  options.seed = 3;
+  options.duration = 120 * adhoc::kSecond;
+  options.metricsPath = "-";
+  options.json = true;  // suppress the human timeline
+  std::ostringstream out;
+  const SimReport report = executeSim(options, out);
+  const std::string text = out.str();
+
+  const auto expectCounter = [&](const std::string& name, std::size_t v) {
+    // JSON form…
+    EXPECT_NE(text.find('"' + name + "\":" + std::to_string(v)),
+              std::string::npos)
+        << name << " = " << v;
+    // …and Prometheus form, from the same registry.
+    EXPECT_NE(text.find(name + ' ' + std::to_string(v) + '\n'),
+              std::string::npos)
+        << name << " = " << v;
+  };
+  expectCounter("beacons_sent_total", report.beaconsSent);
+  expectCounter("beacons_delivered_total", report.beaconsDelivered);
+  expectCounter("beacons_lost_total", report.beaconsLost);
+  expectCounter("beacons_collided_total", report.beaconsCollided);
+  expectCounter("moves_total", report.moves);
+  expectCounter("rounds_total", report.rounds);
+  EXPECT_GT(report.rounds, 0u);
+  EXPECT_NE(text.find("# TYPE round_duration_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("round_duration_seconds_count"), std::string::npos);
+}
+
+TEST(ExecuteSim, EventsStreamIsJsonl) {
+  SimOptions options;
+  options.nodes = 10;
+  options.seed = 13;
+  options.duration = 60 * adhoc::kSecond;
+  options.eventsPath = "-";
+  options.json = true;
+  std::ostringstream out;
+  const SimReport report = executeSim(options, out);
+  EXPECT_GT(report.moves, 0u);
+  // One "move" record per state change.
+  const std::string text = out.str();
+  std::size_t moveLines = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("{\"type\":\"move\",", 0) == 0) ++moveLines;
+  }
+  EXPECT_EQ(moveLines, report.moves);
+}
+
+TEST(PrintSimReportJson, EmitsOneParsableObject) {
+  SimReport report;
+  report.protocol = "smm";
+  report.nodes = 25;
+  report.endTime = 7 * adhoc::kSecond;
+  report.rounds = 70;
+  report.quiet = true;
+  report.predicateOk = true;
+  report.beaconsSent = 1750;
+  report.beaconsDelivered = 6902;
+  report.moves = 31;
+  report.summary = "matching: 12 pair(s)";
+  std::ostringstream out;
+  printSimReportJson(report, out);
+  const std::string json = out.str();
+  EXPECT_EQ(json,
+            "{\"protocol\":\"smm\",\"nodes\":25,\"endTimeUs\":7000000,"
+            "\"rounds\":70,\"quiet\":true,\"predicateOk\":true,"
+            "\"beaconsSent\":1750,\"beaconsDelivered\":6902,"
+            "\"beaconsLost\":0,\"beaconsCollided\":0,\"moves\":31,"
+            "\"summary\":\"matching: 12 pair(s)\"}\n");
+}
+
 TEST(PrintSimReport, RendersCounters) {
   SimReport report;
   report.protocol = "sis";

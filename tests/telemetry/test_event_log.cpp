@@ -1,0 +1,83 @@
+#include "telemetry/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace selfstab::telemetry {
+namespace {
+
+TEST(EventLog, EmitsOneJsonObjectPerLine) {
+  std::ostringstream out;
+  EventLog log(out);
+  log.emit("round", {{"executor", "sync"}, {"round", 3}, {"moves", 7u}});
+  log.emit("reboot", {{"node", 12}, {"t_us", 2'500'000LL}});
+  EXPECT_EQ(out.str(),
+            "{\"type\":\"round\",\"executor\":\"sync\",\"round\":3,"
+            "\"moves\":7}\n"
+            "{\"type\":\"reboot\",\"node\":12,\"t_us\":2500000}\n");
+  EXPECT_EQ(log.lineCount(), 2u);
+}
+
+TEST(EventLog, EscapesTypeKeysAndStringValues) {
+  std::ostringstream out;
+  EventLog log(out);
+  log.emit("we\"ird", {{"k\ney", "v\\al"}});
+  EXPECT_EQ(out.str(), "{\"type\":\"we\\\"ird\",\"k\\ney\":\"v\\\\al\"}\n");
+}
+
+TEST(EventLog, RendersScalarFieldTypes) {
+  std::ostringstream out;
+  EventLog log(out);
+  log.emit("t", {{"d", 0.5},
+                 {"neg", -42},
+                 {"big", 9'000'000'000ULL},
+                 {"flag", true},
+                 {"nan", std::numeric_limits<double>::quiet_NaN()}});
+  EXPECT_EQ(out.str(),
+            "{\"type\":\"t\",\"d\":0.5,\"neg\":-42,\"big\":9000000000,"
+            "\"flag\":true,\"nan\":null}\n");
+}
+
+TEST(EventLog, EmptyFieldListIsJustTheType) {
+  std::ostringstream out;
+  EventLog log(out);
+  log.emit("tick", {});
+  EXPECT_EQ(out.str(), "{\"type\":\"tick\"}\n");
+}
+
+TEST(EventLog, ConcurrentEmittersNeverInterleaveLines) {
+  std::ostringstream out;
+  EventLog log(out);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.emit("evt", {{"worker", t}, {"i", i}});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(log.lineCount(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+
+  // Every line must be a complete record: starts with {"type":"evt",
+  // ends with }, and there are exactly kThreads*kPerThread of them.
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ASSERT_EQ(line.rfind("{\"type\":\"evt\",", 0), 0u) << line;
+    ASSERT_EQ(line.back(), '}') << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace selfstab::telemetry

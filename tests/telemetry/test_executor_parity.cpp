@@ -1,0 +1,151 @@
+// Satellite: telemetry must be purely observational. The parallel executor
+// with telemetry attached must produce bit-identical trajectories to the
+// serial executor, and both must report identical rounds_total/moves_total.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/smm.hpp"
+#include "engine/fault.hpp"
+#include "engine/parallel_runner.hpp"
+#include "engine/sync_runner.hpp"
+#include "graph/generators.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace selfstab::engine {
+namespace {
+
+using core::PointerState;
+using graph::Graph;
+using graph::IdAssignment;
+namespace names = telemetry::names;
+
+TEST(ExecutorParity, ParallelWithTelemetryMatchesSerialBitForBit) {
+  graph::Rng rng(701);
+  const Graph g = graph::connectedErdosRenyi(72, 0.09, rng);
+  const auto ids = IdAssignment::identity(72);
+  const core::SmmProtocol smm = core::smmPaper();
+
+  auto serialStates = engine::randomConfiguration<PointerState>(
+      g, rng, core::randomPointerState);
+  auto parallelStates = serialStates;
+
+  telemetry::Registry serialReg;
+  telemetry::Registry parallelReg;
+
+  SyncRunner<PointerState> serial(smm, g, ids, /*runSeed=*/13);
+  serial.attachTelemetry(&serialReg);
+  ParallelSyncRunner<PointerState> parallel(smm, g, ids, /*threads=*/4,
+                                            /*runSeed=*/13);
+  parallel.attachTelemetry(&parallelReg);
+
+  const auto ra = serial.run(serialStates, 300);
+  const auto rb = parallel.run(parallelStates, 300);
+  EXPECT_EQ(ra, rb);
+  EXPECT_EQ(parallelStates, serialStates);
+
+  // Both executors executed the same step() calls, so the counters agree
+  // exactly — including the final zero-move verification round.
+  EXPECT_EQ(parallelReg.counterValue(names::kRoundsTotal),
+            serialReg.counterValue(names::kRoundsTotal));
+  EXPECT_EQ(parallelReg.counterValue(names::kMovesTotal),
+            serialReg.counterValue(names::kMovesTotal));
+  EXPECT_EQ(serialReg.counterValue(names::kMovesTotal), ra.totalMoves);
+  EXPECT_GE(serialReg.counterValue(names::kRoundsTotal), ra.rounds);
+}
+
+TEST(ExecutorParity, AttachedTelemetryDoesNotPerturbTrajectory) {
+  graph::Rng rng(703);
+  const Graph g = graph::connectedErdosRenyi(48, 0.12, rng);
+  const auto ids = IdAssignment::identity(48);
+  const core::SmmProtocol smm = core::smmPaper();
+  const auto start = engine::randomConfiguration<PointerState>(
+      g, rng, core::randomPointerState);
+
+  auto bare = start;
+  SyncRunner<PointerState> plainRunner(smm, g, ids, /*runSeed=*/99);
+  const auto plainResult = plainRunner.run(bare, 200);
+
+  auto instrumented = start;
+  telemetry::Registry registry;
+  std::ostringstream events;
+  telemetry::EventLog log(events);
+  SyncRunner<PointerState> wiredRunner(smm, g, ids, /*runSeed=*/99);
+  wiredRunner.attachTelemetry(&registry, &log);
+  const auto wiredResult = wiredRunner.run(instrumented, 200);
+
+  EXPECT_EQ(wiredResult, plainResult);
+  EXPECT_EQ(instrumented, bare);
+  // One "round" event per executed step (counted rounds + verification).
+  EXPECT_EQ(log.lineCount(), registry.counterValue(names::kRoundsTotal));
+}
+
+TEST(ExecutorParity, PerPhaseHistogramsArePopulated) {
+  graph::Rng rng(705);
+  const Graph g = graph::connectedErdosRenyi(40, 0.15, rng);
+  const auto ids = IdAssignment::identity(40);
+  const core::SmmProtocol smm = core::smmPaper();
+
+  telemetry::Registry serialReg;
+  {
+    SyncRunner<PointerState> runner(smm, g, ids);
+    runner.attachTelemetry(&serialReg);
+    auto states = engine::randomConfiguration<PointerState>(
+        g, rng, core::randomPointerState);
+    runner.run(states, 200);
+  }
+  const std::uint64_t serialRounds =
+      serialReg.counterValue(names::kRoundsTotal);
+  ASSERT_GT(serialRounds, 0u);
+  for (const char* name : {names::kRoundDuration, names::kSnapshotDuration,
+                           names::kEvaluateDuration, names::kCommitDuration}) {
+    const telemetry::Histogram* h = serialReg.findHistogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_EQ(h->count(), serialRounds) << name;
+  }
+  // The serial executor has no workers to report on.
+  EXPECT_EQ(serialReg.findHistogram(names::kWorkerChunkDuration), nullptr);
+
+  telemetry::Registry parallelReg;
+  {
+    ParallelSyncRunner<PointerState> runner(smm, g, ids, /*threads=*/3);
+    runner.attachTelemetry(&parallelReg);
+    auto states = engine::randomConfiguration<PointerState>(
+        g, rng, core::randomPointerState);
+    runner.run(states, 200);
+  }
+  const std::uint64_t parallelRounds =
+      parallelReg.counterValue(names::kRoundsTotal);
+  ASSERT_GT(parallelRounds, 0u);
+  const telemetry::Histogram* chunks =
+      parallelReg.findHistogram(names::kWorkerChunkDuration);
+  ASSERT_NE(chunks, nullptr);
+  // Every round dispatches every worker once.
+  EXPECT_EQ(chunks->count(), parallelRounds * 3);
+  EXPECT_GE(parallelReg.gaugeValue(names::kWorkerImbalance), 0.0);
+}
+
+TEST(ExecutorParity, ParallelEventsCarryExecutorTag) {
+  const Graph g = graph::cycle(16);
+  const auto ids = IdAssignment::identity(16);
+  const core::SmmProtocol smm = core::smmPaper();
+
+  std::ostringstream events;
+  telemetry::EventLog log(events);
+  ParallelSyncRunner<PointerState> runner(smm, g, ids, /*threads=*/2);
+  runner.attachTelemetry(nullptr, &log);
+  auto states = SyncRunner<PointerState>(smm, g, ids).initialStates();
+  runner.run(states, 100);
+
+  ASSERT_GT(log.lineCount(), 0u);
+  std::istringstream in(events.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_NE(line.find("\"executor\":\"parallel\""), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"workers\":2"), std::string::npos) << line;
+  }
+}
+
+}  // namespace
+}  // namespace selfstab::engine

@@ -1,0 +1,94 @@
+#include "telemetry/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace selfstab::telemetry {
+namespace {
+
+TEST(JsonEscaping, PassesPlainTextThrough) {
+  EXPECT_EQ(jsonEscaped("hello world_42"), "hello world_42");
+}
+
+TEST(JsonEscaping, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(jsonEscaped("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscaped("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscaped("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(jsonEscaped("tab\there"), "tab\\there");
+  EXPECT_EQ(jsonEscaped(std::string("nul\x01""end")), "nul\\u0001end");
+  EXPECT_EQ(jsonEscaped("\r\b\f"), "\\r\\b\\f");
+}
+
+TEST(JsonWriter, WritesNestedDocument) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.beginObject();
+  w.key("name").value("run");
+  w.key("count").value(std::uint64_t{42});
+  w.key("ok").value(true);
+  w.key("items").beginArray();
+  w.value(1).value(2).value(3);
+  w.endArray();
+  w.key("nested").beginObject();
+  w.key("x").value(0.5);
+  w.endObject();
+  w.endObject();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(out.str(),
+            "{\"name\":\"run\",\"count\":42,\"ok\":true,"
+            "\"items\":[1,2,3],\"nested\":{\"x\":0.5}}");
+}
+
+TEST(JsonWriter, EscapesKeysAndStringValues) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.beginObject();
+  w.key("we\"ird").value("v\nv");
+  w.endObject();
+  EXPECT_EQ(out.str(), "{\"we\\\"ird\":\"v\\nv\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.beginArray();
+  w.value(std::nan(""));
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.endArray();
+  EXPECT_EQ(out.str(), "[null,null,null]");
+}
+
+TEST(JsonWriter, DoublesRoundTrip) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.value(0.1);
+  const double parsed = std::stod(out.str());
+  EXPECT_DOUBLE_EQ(parsed, 0.1);
+}
+
+TEST(JsonWriter, NegativeIntegers) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.beginArray();
+  w.value(-7);
+  w.value(std::int64_t{-1234567890123});
+  w.endArray();
+  EXPECT_EQ(out.str(), "[-7,-1234567890123]");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.beginObject();
+  w.key("a").beginArray().endArray();
+  w.key("o").beginObject().endObject();
+  w.endObject();
+  EXPECT_EQ(out.str(), "{\"a\":[],\"o\":{}}");
+  EXPECT_TRUE(w.complete());
+}
+
+}  // namespace
+}  // namespace selfstab::telemetry

@@ -1,0 +1,188 @@
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+
+namespace selfstab::telemetry {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.add(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 1.75);
+  g.set(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), -3.0);
+}
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (inclusive edge, Prometheus convention)
+  h.observe(1.5);   // <= 2
+  h.observe(5.0);   // <= 5
+  h.observe(100.0); // +Inf
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 5.0 + 100.0);
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, ConcurrentObservationsAreLossless) {
+  Histogram h({0.5});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(t % 2 == 0 ? 0.25 : 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  const auto counts = h.counts();
+  EXPECT_EQ(counts[0], 2u * kPerThread);
+  EXPECT_EQ(counts[1], 2u * kPerThread);
+}
+
+TEST(DefaultBuckets, AreSortedAndNonEmpty) {
+  const auto d = durationBuckets();
+  ASSERT_FALSE(d.empty());
+  EXPECT_TRUE(std::is_sorted(d.begin(), d.end()));
+  const auto s = sizeBuckets();
+  ASSERT_FALSE(s.empty());
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+}
+
+TEST(Registry, GetOrCreateReturnsStableInstances) {
+  Registry r;
+  Counter& a = r.counter("moves_total");
+  a.inc(3);
+  Counter& b = r.counter("moves_total");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(r.counterValue("moves_total"), 3u);
+  EXPECT_EQ(r.counterValue("never_registered"), 0u);
+
+  Histogram& h1 = r.histogram("latency", {1.0, 2.0});
+  Histogram& h2 = r.histogram("latency", {999.0});  // bounds ignored on reuse
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(Registry, RejectsMalformedNames) {
+  Registry r;
+  EXPECT_THROW(r.counter(""), std::invalid_argument);
+  EXPECT_THROW(r.counter("1starts_with_digit"), std::invalid_argument);
+  EXPECT_THROW(r.counter("has space"), std::invalid_argument);
+  EXPECT_THROW(r.gauge("has-dash"), std::invalid_argument);
+  EXPECT_THROW(r.histogram("quo\"te", {1.0}), std::invalid_argument);
+  EXPECT_NO_THROW(r.counter("_ok_Name_42"));
+}
+
+TEST(Registry, WriteJsonEmitsAllInstrumentKinds) {
+  Registry r;
+  r.counter("beacons_sent_total").inc(7);
+  r.gauge("worker_imbalance_ratio").set(1.25);
+  Histogram& h = r.histogram("round_duration_seconds", {0.001, 0.01});
+  h.observe(0.0005);
+  h.observe(0.5);
+
+  std::ostringstream out;
+  r.writeJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"counters\":{\"beacons_sent_total\":7}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"worker_imbalance_ratio\":1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"round_duration_seconds\":{\"bounds\":[0.001,0.01],"
+                      "\"counts\":[1,0,1]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  // One complete document, newline-terminated.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(Registry, WritePrometheusUsesCumulativeBuckets) {
+  Registry r;
+  r.counter("rounds_total").inc(3);
+  Histogram& h = r.histogram("round_duration_seconds", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(10.0);
+
+  std::ostringstream out;
+  r.writePrometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE rounds_total counter"), std::string::npos);
+  EXPECT_NE(text.find("rounds_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE round_duration_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("round_duration_seconds_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("round_duration_seconds_bucket{le=\"2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("round_duration_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("round_duration_seconds_count 3"), std::string::npos);
+  EXPECT_NE(text.find("round_duration_seconds_sum 12"), std::string::npos);
+}
+
+TEST(Registry, ManyThreadsShareOneCounter) {
+  Registry r;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    // Resolve inside the thread: registration itself must be thread-safe.
+    threads.emplace_back([&r] {
+      Counter& c = r.counter("moves_total");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(r.counterValue("moves_total"), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace selfstab::telemetry
