@@ -14,19 +14,25 @@ ROOT="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 cmake -B "$BUILD_DIR" -G Ninja -S "$ROOT"
 cmake --build "$BUILD_DIR"
 
+# The full suite includes the `stress` label (property-based differential
+# and self-stabilization suites); SELFSTAB_STRESS_ITERS scales their
+# iteration counts if set in the environment.
 ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 \
   | tee "$ROOT/test_output.txt"
 
 # ThreadSanitizer pass over the concurrency-sensitive suites: the telemetry
-# instruments (lock-free counters shared by the worker pool) and the
-# parallel runner itself. A separate build dir keeps sanitizer objects out
-# of the main build.
+# instruments (lock-free counters shared by the worker pool), the parallel
+# runner itself, and the parallel active-set differential tests (per-worker
+# dirty queues merged at the round barrier). A separate build dir keeps
+# sanitizer objects out of the main build.
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -G Ninja -S "$ROOT" -DSELFSTAB_SANITIZE=thread
-cmake --build "$TSAN_DIR" --target telemetry_tests engine_tests
+cmake --build "$TSAN_DIR" --target telemetry_tests engine_tests stress_tests
 {
   "$TSAN_DIR/tests/telemetry_tests"
   "$TSAN_DIR/tests/engine_tests" --gtest_filter='ParallelRunner.*'
+  SELFSTAB_STRESS_ITERS="${SELFSTAB_TSAN_STRESS_ITERS:-3}" \
+    "$TSAN_DIR/tests/stress_tests" --gtest_filter='*Parallel*'
 } 2>&1 | tee "$ROOT/tsan_output.txt"
 
 : > "$ROOT/bench_output.txt"

@@ -26,6 +26,7 @@
 #include "adhoc/mobility.hpp"
 #include "adhoc/sim_time.hpp"
 #include "engine/protocol.hpp"
+#include "engine/schedule.hpp"
 #include "graph/geometry.hpp"
 #include "graph/id_order.hpp"
 #include "graph/rng.hpp"
@@ -53,6 +54,14 @@ struct NetworkConfig {
   SimTime collisionWindow = 0;
   /// Radio range in unit-square widths.
   double radius = 0.35;
+  /// Dense: every node evaluates its rules each beacon interval. Active: a
+  /// node evaluates only when *dirty* — its own state or its neighbor cache
+  /// (membership or cached states) changed since its last evaluation. A
+  /// deterministic rule over an unchanged view returns the same answer, so
+  /// skipping it cannot change the trajectory; protocols that read roundKey
+  /// (Protocol::usesRoundEntropy) always evaluate. Beacons are broadcast
+  /// either way — only the rule evaluation is elided.
+  engine::Schedule schedule = engine::Schedule::Dense;
   /// Optional per-node transmit ranges overriding `radius` (empty = uniform).
   /// Heterogeneous ranges create *asymmetric* links — u hears v without v
   /// hearing u — which violates the paper's assumption that "the links
@@ -70,6 +79,8 @@ struct NetworkStats {
   std::size_t beaconsLost = 0;      ///< random (fading) losses
   std::size_t beaconsCollided = 0;  ///< MAC collision losses
   std::size_t moves = 0;
+  std::size_t ruleEvaluations = 0;    ///< beacon intervals that ran the rules
+  std::size_t evaluationsSkipped = 0; ///< intervals suppressed (Active, clean)
 };
 
 struct QuietResult {
@@ -122,6 +133,8 @@ class NetworkSimulator {
     metrics_.moves = &registry->counter(names::kMovesTotal);
     metrics_.neighborExpirations =
         &registry->counter(names::kNeighborExpirations);
+    metrics_.ruleEvaluations = &registry->counter(names::kActiveNodes);
+    metrics_.evaluationsSkipped = &registry->counter(names::kSkippedNodes);
     metrics_.cacheSize = &registry->histogram(names::kNeighborCacheSize,
                                               telemetry::sizeBuckets());
     // A node's beacon-interval work (expiry sweep, rule evaluation,
@@ -155,11 +168,13 @@ class NetworkSimulator {
     return result;
   }
 
-  /// Overwrites node states (fault injection).
+  /// Overwrites node states (fault injection). Every node is marked dirty:
+  /// an Active-schedule run must re-evaluate everyone after a fault burst.
   void setStates(std::vector<State> states) {
     assert(states.size() == nodes_.size());
     for (graph::Vertex v = 0; v < nodes_.size(); ++v) {
       nodes_[v].state = std::move(states[v]);
+      nodes_[v].dirty = true;
     }
     lastMove_ = queue_.now();
   }
@@ -171,6 +186,7 @@ class NetworkSimulator {
   void rebootNode(graph::Vertex v) {
     nodes_[v].state = protocol_->initialState(v);
     nodes_[v].cache.clear();
+    nodes_[v].dirty = true;
     lastMove_ = queue_.now();
     if (events_ != nullptr) {
       events_->emit("reboot", {{"t_us", queue_.now()}, {"node", v}});
@@ -236,6 +252,10 @@ class NetworkSimulator {
     // Sorted by sender vertex so LocalViews enumerate neighbors in
     // increasing vertex order, matching the abstract engine.
     std::map<graph::Vertex, CacheEntry> cache;
+    // Active schedule: true iff the node's view (own state, cache
+    // membership, or a cached neighbor state) changed since its last rule
+    // evaluation. Starts dirty so every node evaluates at least once.
+    bool dirty = true;
   };
 
   void dispatch(Event event) {
@@ -264,6 +284,7 @@ class NetworkSimulator {
                         {{"t_us", now}, {"node", v}, {"neighbor", it->first}});
         }
         it = node.cache.erase(it);
+        node.dirty = true;  // view shrank: re-evaluate
       } else {
         ++it;
       }
@@ -273,28 +294,44 @@ class NetworkSimulator {
     }
 
     // Act on the beacons gathered this round (the paper: a node takes action
-    // after receiving beacon messages from all its neighbors).
-    neighborBuffer_.clear();
-    for (const auto& [from, entry] : node.cache) {
-      neighborBuffer_.push_back(
-          engine::NeighborRef<State>{from, ids_->idOf(from), &entry.state});
-    }
-    engine::LocalView<State> view;
-    view.self = v;
-    view.selfId = ids_->idOf(v);
-    view.selfState = &node.state;
-    view.neighbors = neighborBuffer_;
-    view.roundKey = hashCombine(config_.seed,
-                                static_cast<std::uint64_t>(
-                                    now / config_.beaconInterval));
-    if (auto next = protocol_->onRound(view)) {
-      node.state = std::move(*next);
-      ++stats_.moves;
-      if (metrics_.moves != nullptr) metrics_.moves->inc();
-      if (events_ != nullptr) {
-        events_->emit("move", {{"t_us", now}, {"node", v}});
+    // after receiving beacon messages from all its neighbors). Under the
+    // Active schedule a clean node skips the evaluation: its view is
+    // unchanged since the last (disabled) evaluation, so a deterministic
+    // rule would return the same nullopt.
+    const bool evaluate = config_.schedule != engine::Schedule::Active ||
+                          protocol_->usesRoundEntropy() || node.dirty;
+    if (evaluate) {
+      ++stats_.ruleEvaluations;
+      if (metrics_.ruleEvaluations != nullptr) metrics_.ruleEvaluations->inc();
+      node.dirty = false;
+      neighborBuffer_.clear();
+      for (const auto& [from, entry] : node.cache) {
+        neighborBuffer_.push_back(
+            engine::NeighborRef<State>{from, ids_->idOf(from), &entry.state});
       }
-      lastMove_ = now;
+      engine::LocalView<State> view;
+      view.self = v;
+      view.selfId = ids_->idOf(v);
+      view.selfState = &node.state;
+      view.neighbors = neighborBuffer_;
+      view.roundKey = hashCombine(config_.seed,
+                                  static_cast<std::uint64_t>(
+                                      now / config_.beaconInterval));
+      if (auto next = protocol_->onRound(view)) {
+        node.state = std::move(*next);
+        node.dirty = true;  // own state is part of the view
+        ++stats_.moves;
+        if (metrics_.moves != nullptr) metrics_.moves->inc();
+        if (events_ != nullptr) {
+          events_->emit("move", {{"t_us", now}, {"node", v}});
+        }
+        lastMove_ = now;
+      }
+    } else {
+      ++stats_.evaluationsSkipped;
+      if (metrics_.evaluationsSkipped != nullptr) {
+        metrics_.evaluationsSkipped->inc();
+      }
     }
 
     // Broadcast the (possibly updated) state to everyone in the *sender's*
@@ -334,7 +371,17 @@ class NetworkSimulator {
   }
 
   void onDelivery(const Delivery& d) {
-    nodes_[d.to].cache[d.from] = CacheEntry{d.payload, queue_.now()};
+    Node& node = nodes_[d.to];
+    const auto [it, inserted] =
+        node.cache.try_emplace(d.from, CacheEntry{d.payload, queue_.now()});
+    if (inserted) {
+      node.dirty = true;  // new neighbor appeared in the view
+    } else {
+      // Refreshed heardAt alone does not dirty the view; a changed payload
+      // does.
+      if (!(it->second.state == d.payload)) node.dirty = true;
+      it->second = CacheEntry{d.payload, queue_.now()};
+    }
     ++stats_.beaconsDelivered;
     if (metrics_.beaconsDelivered != nullptr) {
       metrics_.beaconsDelivered->inc();
@@ -375,6 +422,8 @@ class NetworkSimulator {
     telemetry::Counter* beaconsCollided = nullptr;
     telemetry::Counter* moves = nullptr;
     telemetry::Counter* neighborExpirations = nullptr;
+    telemetry::Counter* ruleEvaluations = nullptr;
+    telemetry::Counter* evaluationsSkipped = nullptr;
     telemetry::Histogram* cacheSize = nullptr;
     telemetry::Histogram* roundDuration = nullptr;
   };

@@ -156,6 +156,15 @@ Options parseOptions(const std::vector<std::string>& args) {
       options.seed = parseSize(next(i, arg), "seed");
     } else if (arg == "--max-rounds") {
       options.maxRounds = parseSize(next(i, arg), "max rounds");
+    } else if (arg == "--schedule") {
+      const std::string value = next(i, arg);
+      if (value == "dense") {
+        options.schedule = engine::Schedule::Dense;
+      } else if (value == "active") {
+        options.schedule = engine::Schedule::Active;
+      } else {
+        fail("unknown schedule '" + value + "'");
+      }
     } else if (arg == "--trace") {
       options.trace = true;
     } else if (arg == "--dot") {
@@ -189,6 +198,8 @@ usage: selfstab [options]
   --start         clean | random                              [default: clean]
   --seed          64-bit seed for all randomness              [default: 1]
   --max-rounds    round budget (0 = protocol-appropriate)     [default: 0]
+  --schedule      dense | active (evaluate only dirty nodes;
+                  trajectory is bit-identical)                [default: dense]
   --trace         print per-round progress
   --dot PATH      write the final graph + solution as Graphviz DOT
   --csv PATH      write a per-round CSV trace (round, moves, size)

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "engine/schedule.hpp"
+
 namespace selfstab::cli {
 
 class CliError : public std::runtime_error {
@@ -58,6 +60,7 @@ struct Options {
   StartKind start = StartKind::Clean;
   std::uint64_t seed = 1;
   std::size_t maxRounds = 0;  ///< 0 = auto (protocol-appropriate bound)
+  engine::Schedule schedule = engine::Schedule::Dense;  ///< --schedule
   bool trace = false;         ///< per-round progress lines
   std::string dotPath;        ///< write final graph+solution as DOT
   std::string csvPath;        ///< write a per-round CSV trace

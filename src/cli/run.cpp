@@ -79,7 +79,8 @@ std::vector<State> drive(const Options& options, const Sinks& sinks,
                          const Graph& g, const IdAssignment& ids,
                          std::size_t autoBudget, Sampler sampler,
                          Metric metric, std::ostream& out, Report& report) {
-  engine::SyncRunner<State> runner(protocol, g, ids, options.seed);
+  engine::SyncRunner<State> runner(protocol, g, ids, options.seed,
+                                   options.schedule);
   runner.attachTelemetry(sinks.registry, sinks.events);
   std::vector<State> states;
   if (options.start == StartKind::Clean) {

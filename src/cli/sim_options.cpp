@@ -94,6 +94,15 @@ SimOptions parseSimOptions(const std::vector<std::string>& args) {
           parseU64(next(i, arg), "collision-us"));
     } else if (arg == "--timeout-factor") {
       options.timeoutFactor = parsePositive(next(i, arg), "timeout factor");
+    } else if (arg == "--schedule") {
+      const std::string value = next(i, arg);
+      if (value == "dense") {
+        options.schedule = engine::Schedule::Dense;
+      } else if (value == "active") {
+        options.schedule = engine::Schedule::Active;
+      } else {
+        fail("unknown schedule '" + value + "'");
+      }
     } else if (arg == "--mobility") {
       const std::string value = next(i, arg);
       if (value == "static") {
@@ -144,6 +153,8 @@ usage: selfstab-sim [options]
   --loss           per-beacon loss probability           [default: 0]
   --collision-us   MAC collision window in microseconds  [default: 0 = off]
   --timeout-factor neighbor expiry in beacon intervals   [default: 2.5]
+  --schedule       dense | active (skip rule evaluation
+                   on nodes whose view is unchanged)     [default: dense]
   --mobility       static | waypoint                     [default: static]
   --speed          waypoint speed range MIN:MAX          [default: 0.01:0.04]
   --stop-sec       freeze waypoint motion at this time   [default: never]

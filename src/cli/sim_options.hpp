@@ -25,6 +25,7 @@ struct SimOptions {
   double lossProbability = 0.0;
   adhoc::SimTime collisionWindow = 0;
   double timeoutFactor = 2.5;
+  engine::Schedule schedule = engine::Schedule::Dense;  ///< --schedule
 
   MobilityKind mobility = MobilityKind::Static;
   double speedMin = 0.01;

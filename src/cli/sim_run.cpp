@@ -41,6 +41,7 @@ adhoc::NetworkConfig makeConfig(const SimOptions& options) {
   config.lossProbability = options.lossProbability;
   config.collisionWindow = options.collisionWindow;
   config.timeoutFactor = options.timeoutFactor;
+  config.schedule = options.schedule;
   config.radius = options.radius;
   config.seed = options.seed;
   return config;
@@ -101,6 +102,8 @@ SimReport driveSim(const SimOptions& options, telemetry::Registry* registry,
   report.beaconsLost = stats.beaconsLost;
   report.beaconsCollided = stats.beaconsCollided;
   report.moves = stats.moves;
+  report.ruleEvaluations = stats.ruleEvaluations;
+  report.evaluationsSkipped = stats.evaluationsSkipped;
   report.rounds = static_cast<std::size_t>(sim.now() / options.beaconInterval);
   if (registry != nullptr) {
     // The paper counts rounds as whole beacon intervals; finalize the
@@ -213,6 +216,10 @@ void printSimReportJson(const SimReport& report, std::ostream& out) {
   w.key("beaconsCollided")
       .value(static_cast<std::uint64_t>(report.beaconsCollided));
   w.key("moves").value(static_cast<std::uint64_t>(report.moves));
+  w.key("ruleEvaluations")
+      .value(static_cast<std::uint64_t>(report.ruleEvaluations));
+  w.key("evaluationsSkipped")
+      .value(static_cast<std::uint64_t>(report.evaluationsSkipped));
   w.key("summary").value(report.summary);
   w.endObject();
   out << '\n';
@@ -230,6 +237,8 @@ void printSimReport(const SimReport& report, std::ostream& out) {
       << report.beaconsDelivered << " delivered, " << report.beaconsLost
       << " lost, " << report.beaconsCollided << " collided\n"
       << "moves       : " << report.moves << '\n'
+      << "evaluations : " << report.ruleEvaluations << " run, "
+      << report.evaluationsSkipped << " skipped\n"
       << "rounds      : " << report.rounds << '\n'
       << "result      : " << report.summary << '\n'
       << "verified    : " << (report.predicateOk ? "yes" : "NO") << '\n';

@@ -19,6 +19,8 @@ struct SimReport {
   std::size_t beaconsLost = 0;
   std::size_t beaconsCollided = 0;
   std::size_t moves = 0;
+  std::size_t ruleEvaluations = 0;     ///< beacon intervals that ran the rules
+  std::size_t evaluationsSkipped = 0;  ///< suppressed by --schedule active
   std::size_t rounds = 0;  ///< whole beacon intervals elapsed (paper rounds)
   std::string summary;
 };

@@ -64,6 +64,11 @@ class Synchronized final
     return inner_.isStable(view);
   }
 
+  /// The lottery re-draws priorities from roundKey every round, so a node's
+  /// decision can flip with an unchanged neighborhood — the active-set
+  /// scheduler must not skip nodes for this wrapper.
+  [[nodiscard]] bool usesRoundEntropy() const noexcept override { return true; }
+
   [[nodiscard]] const Inner& inner() const noexcept { return inner_; }
 
  private:

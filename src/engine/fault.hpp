@@ -46,6 +46,21 @@ std::size_t corruptConfiguration(std::vector<State>& states,
   return corrupted;
 }
 
+/// corruptConfiguration plus the scheduling hook an Active-schedule runner
+/// needs: a transient fault changes states behind the runner's back, so its
+/// dirty-set bookkeeping is stale until invalidateSchedule() reseeds it with
+/// every node. Works with SyncRunner and ParallelSyncRunner alike; under the
+/// Dense schedule the invalidation is a harmless no-op.
+template <typename Runner, typename State, typename Sampler>
+std::size_t corruptAndReschedule(Runner& runner, std::vector<State>& states,
+                                 const graph::Graph& g, Rng& rng,
+                                 double fraction, Sampler sampler) {
+  const std::size_t corrupted =
+      corruptConfiguration(states, g, rng, fraction, sampler);
+  runner.invalidateSchedule();
+  return corrupted;
+}
+
 /// Exhaustively enumerates the cartesian product of per-vertex candidate
 /// state lists, invoking `callback(const std::vector<State>&)` once per
 /// configuration. Intended for small graphs: the count is the product of the

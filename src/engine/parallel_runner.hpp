@@ -23,11 +23,13 @@
 #include <cstddef>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "engine/protocol.hpp"
 #include "engine/runner_telemetry.hpp"
+#include "engine/schedule.hpp"
 #include "engine/sync_runner.hpp"
 #include "engine/view_builder.hpp"
 
@@ -38,13 +40,16 @@ class ParallelSyncRunner {
  public:
   ParallelSyncRunner(const Protocol<State>& protocol, const graph::Graph& g,
                      const graph::IdAssignment& ids, std::size_t threads,
-                     std::uint64_t runSeed = 0)
+                     std::uint64_t runSeed = 0,
+                     Schedule schedule = Schedule::Dense)
       : protocol_(&protocol),
         g_(&g),
         ids_(&ids),
         runSeed_(runSeed),
-        threadCount_(threads == 0 ? 1 : threads) {
+        threadCount_(threads == 0 ? 1 : threads),
+        schedule_(schedule) {
     workerSeconds_.assign(threadCount_, 0.0);
+    workerMoved_.resize(threadCount_);
     workers_.reserve(threadCount_);
     for (std::size_t t = 0; t < threadCount_; ++t) {
       workers_.emplace_back([this, t] { workerLoop(t); });
@@ -76,44 +81,21 @@ class ParallelSyncRunner {
     events_ = events;
   }
 
-  /// One synchronous round; identical semantics to SyncRunner::step.
+  /// One synchronous round; identical semantics (and bit-identical
+  /// trajectory) to SyncRunner::step under either schedule. Under Active,
+  /// each worker records the vertices it moved; the main thread merges those
+  /// per-worker queues after the round barrier into the next round's dirty
+  /// set and patches the snapshot in place instead of recopying it.
   std::size_t step(std::vector<State>& states) {
-    const telemetry::ScopedTimer roundTimer(metrics_.roundDuration);
-    {
-      const telemetry::ScopedTimer t(metrics_.snapshotDuration);
-      snapshot_ = states;
-    }
-    target_ = &states;
-    roundKey_ = hashCombine(runSeed_, round_);
-    moves_.store(0, std::memory_order_relaxed);
-    pending_.store(threadCount_, std::memory_order_release);
-    const telemetry::ScopedTimer evaluateTimer(metrics_.evaluateDuration);
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      ++generation_;
-    }
-    wake_.notify_all();
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      done_.wait(lock, [this] {
-        return pending_.load(std::memory_order_acquire) == 0;
-      });
-    }
-    // moves_total was already bumped by the workers (lock-free, per-chunk).
-    const std::size_t moves = moves_.load(std::memory_order_relaxed);
-    if (metrics_.rounds != nullptr) metrics_.rounds->inc();
-    if (metrics_.workerImbalance != nullptr) {
-      metrics_.workerImbalance->set(imbalanceRatio());
-    }
-    if (events_ != nullptr) {
-      events_->emit("round", {{"executor", "parallel"},
-                              {"round", round_},
-                              {"moves", moves},
-                              {"workers", threadCount_}});
-    }
-    ++round_;
-    return moves;
+    return schedule_ == Schedule::Active ? stepActive(states)
+                                         : stepDense(states);
   }
+
+  /// See SyncRunner::invalidateSchedule — call after mutating states
+  /// between rounds under the Active schedule.
+  void invalidateSchedule() noexcept { scheduleValid_ = false; }
+
+  [[nodiscard]] Schedule schedule() const noexcept { return schedule_; }
 
   /// Runs until fixpoint or maxRounds; same contract as SyncRunner::run
   /// (fixpoint = zero moves and every node isStable).
@@ -146,6 +128,96 @@ class ParallelSyncRunner {
   }
 
  private:
+  std::size_t stepDense(std::vector<State>& states) {
+    const telemetry::ScopedTimer roundTimer(metrics_.roundDuration);
+    {
+      const telemetry::ScopedTimer t(metrics_.snapshotDuration);
+      snapshot_ = states;
+    }
+    workIsAll_ = true;
+    workCount_ = snapshot_.size();
+    trackMoves_ = false;
+    const std::size_t moves = dispatchRound(states);
+    return finishRound(moves, /*evaluated=*/snapshot_.size());
+  }
+
+  std::size_t stepActive(std::vector<State>& states) {
+    const telemetry::ScopedTimer roundTimer(metrics_.roundDuration);
+    {
+      const telemetry::ScopedTimer t(metrics_.snapshotDuration);
+      if (!scheduleValid_ || snapshot_.size() != states.size() ||
+          graphVersion_ != g_->version()) {
+        snapshot_ = states;  // the only full copy Active ever makes
+        active_.reset(states.size());
+        active_.seedAll();
+        graphVersion_ = g_->version();
+        scheduleValid_ = true;
+      }
+    }
+    // Entropic protocols re-draw per-round priorities, so "unchanged
+    // neighborhood => still disabled" does not hold: evaluate everyone, but
+    // keep the incremental snapshot.
+    workIsAll_ = protocol_->usesRoundEntropy();
+    work_ = active_.current();
+    workCount_ = workIsAll_ ? snapshot_.size() : work_.size();
+    trackMoves_ = true;
+    for (auto& moved : workerMoved_) moved.clear();
+    const std::size_t evaluated = workCount_;
+    const std::size_t moves = dispatchRound(states);
+    // Merge the per-worker moved queues (written before the pending_ release
+    // barrier, read after it): patch the snapshot and mark each mover's
+    // closed neighborhood dirty for the next round.
+    for (const auto& moved : workerMoved_) {
+      for (const graph::Vertex v : moved) {
+        snapshot_[v] = states[v];
+        active_.mark(v);
+        for (const graph::Vertex w : g_->neighbors(v)) active_.mark(w);
+      }
+    }
+    active_.advance();
+    return finishRound(moves, evaluated);
+  }
+
+  // Wakes the pool for one round and blocks until every chunk is done.
+  std::size_t dispatchRound(std::vector<State>& states) {
+    target_ = &states;
+    roundKey_ = hashCombine(runSeed_, round_);
+    moves_.store(0, std::memory_order_relaxed);
+    pending_.store(threadCount_, std::memory_order_release);
+    const telemetry::ScopedTimer evaluateTimer(metrics_.evaluateDuration);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++generation_;
+    }
+    wake_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_.wait(lock, [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+      });
+    }
+    // moves_total was already bumped by the workers (lock-free, per-chunk).
+    return moves_.load(std::memory_order_relaxed);
+  }
+
+  // Shared round epilogue: telemetry, round event, round counter.
+  std::size_t finishRound(std::size_t moves, std::size_t evaluated) {
+    if (metrics_.rounds != nullptr) metrics_.rounds->inc();
+    if (metrics_.workerImbalance != nullptr) {
+      metrics_.workerImbalance->set(imbalanceRatio());
+    }
+    recordActivation(metrics_, evaluated, snapshot_.size());
+    if (events_ != nullptr) {
+      events_->emit("round", {{"executor", "parallel"},
+                              {"round", round_},
+                              {"moves", moves},
+                              {"active", evaluated},
+                              {"workers", threadCount_}});
+    }
+    ++round_;
+    return moves;
+  }
+
   void workerLoop(std::size_t index) {
     ViewBuilder<State> builder(*g_, *ids_);
     std::uint64_t seenGeneration = 0;
@@ -158,8 +230,9 @@ class ParallelSyncRunner {
         if (shutdown_) return;
         seenGeneration = generation_;
       }
-      // Static block partition of the vertex range.
-      const std::size_t n = snapshot_.size();
+      // Static block partition of the round's work list: the full vertex
+      // range (dense / entropic rounds) or the sorted active set.
+      const std::size_t n = workCount_;
       const std::size_t chunk = (n + threadCount_ - 1) / threadCount_;
       const std::size_t begin = index * chunk;
       const std::size_t end = std::min(n, begin + chunk);
@@ -167,11 +240,14 @@ class ParallelSyncRunner {
       std::chrono::steady_clock::time_point chunkStart;
       if (timed) chunkStart = std::chrono::steady_clock::now();
       std::size_t localMoves = 0;
-      for (std::size_t v = begin; v < end; ++v) {
-        const auto view =
-            builder.build(static_cast<graph::Vertex>(v), snapshot_, roundKey_);
+      for (std::size_t i = begin; i < end; ++i) {
+        const graph::Vertex v =
+            workIsAll_ ? static_cast<graph::Vertex>(i) : work_[i];
+        const auto view = builder.build(v, snapshot_, roundKey_);
         if (auto next = protocol_->onRound(view)) {
           (*target_)[v] = std::move(*next);
+          // Own queue only; the main thread merges after the barrier.
+          if (trackMoves_) workerMoved_[index].push_back(v);
           ++localMoves;
         }
       }
@@ -214,11 +290,22 @@ class ParallelSyncRunner {
   const graph::IdAssignment* ids_;
   std::uint64_t runSeed_;
   std::size_t threadCount_;
+  Schedule schedule_;
   std::size_t round_ = 0;
 
   std::vector<State> snapshot_;
   std::vector<State>* target_ = nullptr;
   std::uint64_t roundKey_ = 0;
+
+  // Active-set bookkeeping (main thread only, except workerMoved_ slots).
+  ActiveSet active_;
+  bool scheduleValid_ = false;
+  std::uint64_t graphVersion_ = 0;
+  std::span<const graph::Vertex> work_;
+  std::size_t workCount_ = 0;
+  bool workIsAll_ = true;
+  bool trackMoves_ = false;
+  std::vector<std::vector<graph::Vertex>> workerMoved_;
   std::atomic<std::size_t> moves_{0};
   std::atomic<std::size_t> pending_{0};
 

@@ -12,6 +12,7 @@
 // which is the fidelity claim of this reproduction.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -49,10 +50,15 @@ struct LocalView {
   [[nodiscard]] const State& state() const noexcept { return *selfState; }
 
   /// Looks up a neighbor entry by vertex; nullptr if v is not a neighbor.
+  /// Neighbors are sorted by vertex (guaranteed above), so this is a binary
+  /// search — O(log deg) instead of the old linear scan.
   [[nodiscard]] const NeighborRef<State>* find(graph::Vertex v) const noexcept {
-    for (const auto& nbr : neighbors) {
-      if (nbr.vertex == v) return &nbr;
-    }
+    const auto it = std::lower_bound(
+        neighbors.begin(), neighbors.end(), v,
+        [](const NeighborRef<State>& nbr, graph::Vertex x) noexcept {
+          return nbr.vertex < x;
+        });
+    if (it != neighbors.end() && it->vertex == v) return &*it;
     return nullptr;
   }
 };
@@ -87,6 +93,15 @@ class Protocol {
   [[nodiscard]] virtual bool isStable(const LocalView<State>& view) const {
     return !onRound(view).has_value();
   }
+
+  /// True if onRound() reads LocalView::roundKey — i.e. the decision at a
+  /// node can change from round to round even when its closed neighborhood
+  /// is unchanged (randomized wrappers like core::Synchronized re-draw
+  /// per-round priorities). The active-set scheduler relies on the converse
+  /// for plain protocols ("unchanged neighborhood => still disabled"), so
+  /// when this returns true it falls back to evaluating every node each
+  /// round while still maintaining its snapshot incrementally.
+  [[nodiscard]] virtual bool usesRoundEntropy() const noexcept { return false; }
 
   /// The canonical "clean" starting state (most protocols: all-null /
   /// all-zero). Self-stabilization of course never relies on it.

@@ -19,12 +19,12 @@ namespace selfstab::engine {
 
 /// Per-round mover sets: schedule[r] lists the vertices that moved in
 /// round r, in increasing vertex order.
-using Schedule = std::vector<std::vector<graph::Vertex>>;
+using MoverSchedule = std::vector<std::vector<graph::Vertex>>;
 
 template <typename State>
 struct RecordedRun {
   RunResult result;
-  Schedule schedule;
+  MoverSchedule schedule;
   std::vector<State> initialStates;
 };
 
@@ -69,7 +69,7 @@ std::size_t replaySchedule(const Protocol<State>& protocol,
                            const graph::Graph& g,
                            const graph::IdAssignment& ids,
                            std::vector<State>& states,
-                           const Schedule& schedule,
+                           const MoverSchedule& schedule,
                            std::uint64_t runSeed = 0) {
   ViewBuilder<State> builder(g, ids);
   std::size_t applied = 0;

@@ -22,6 +22,9 @@ struct RunnerMetrics {
   telemetry::Histogram* commitDuration = nullptr;
   telemetry::Histogram* workerChunkDuration = nullptr;  // parallel only
   telemetry::Gauge* workerImbalance = nullptr;          // parallel only
+  telemetry::Counter* activeNodes = nullptr;
+  telemetry::Counter* skippedNodes = nullptr;
+  telemetry::Histogram* activationFraction = nullptr;
 };
 
 /// `parallel` selects which phase instruments exist: the serial runner has
@@ -49,7 +52,23 @@ struct RunnerMetrics {
     m.commitDuration = &registry->histogram(names::kCommitDuration,
                                             telemetry::durationBuckets());
   }
+  m.activeNodes = &registry->counter(names::kActiveNodes);
+  m.skippedNodes = &registry->counter(names::kSkippedNodes);
+  m.activationFraction = &registry->histogram(names::kActivationFraction,
+                                              telemetry::fractionBuckets());
   return m;
+}
+
+/// Records one round's activation: `evaluated` of `n` nodes had their rules
+/// run (dense rounds report n of n). No-op when telemetry is disabled.
+inline void recordActivation(const RunnerMetrics& m, std::size_t evaluated,
+                             std::size_t n) {
+  if (m.activeNodes != nullptr) m.activeNodes->inc(evaluated);
+  if (m.skippedNodes != nullptr) m.skippedNodes->inc(n - evaluated);
+  if (m.activationFraction != nullptr && n > 0) {
+    m.activationFraction->observe(static_cast<double>(evaluated) /
+                                  static_cast<double>(n));
+  }
 }
 
 }  // namespace selfstab::engine

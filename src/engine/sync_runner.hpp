@@ -16,6 +16,7 @@
 
 #include "engine/protocol.hpp"
 #include "engine/runner_telemetry.hpp"
+#include "engine/schedule.hpp"
 #include "engine/view_builder.hpp"
 #include "graph/rng.hpp"
 
@@ -41,8 +42,12 @@ class SyncRunner {
                                       const std::vector<State>&, std::size_t)>;
 
   SyncRunner(const Protocol<State>& protocol, const graph::Graph& g,
-             const graph::IdAssignment& ids, std::uint64_t runSeed = 0)
-      : protocol_(&protocol), builder_(g, ids), runSeed_(runSeed) {
+             const graph::IdAssignment& ids, std::uint64_t runSeed = 0,
+             Schedule schedule = Schedule::Dense)
+      : protocol_(&protocol),
+        builder_(g, ids),
+        runSeed_(runSeed),
+        schedule_(schedule) {
     assert(ids.order() == g.order());
   }
 
@@ -68,44 +73,35 @@ class SyncRunner {
   }
 
   /// Executes one synchronous round in place; returns the number of moves.
-  /// Three phases, each timed when telemetry is attached: *snapshot* (copy
-  /// S_t), *evaluate* (run every node's rules against the snapshot),
-  /// *commit* (apply the moves, forming S_{t+1}).
+  ///
+  /// Dense schedule — three phases, each timed when telemetry is attached:
+  /// *snapshot* (copy S_t), *evaluate* (run every node's rules against the
+  /// snapshot), *commit* (apply the moves, forming S_{t+1}).
+  ///
+  /// Active schedule — same round semantics, bit-identical trajectory, but
+  /// only *dirty* nodes (closed neighborhood changed in the previous round)
+  /// are evaluated, and the snapshot is maintained incrementally instead of
+  /// recopied. Soundness: a rule reads only N[v], so an unchanged closed
+  /// neighborhood means an unchanged decision — a clean node that was
+  /// disabled stays disabled. Protocols that read roundKey
+  /// (Protocol::usesRoundEntropy) break that implication, so for them every
+  /// node is evaluated each round; the incremental snapshot still avoids the
+  /// O(n) copy.
   std::size_t step(std::vector<State>& states) {
     assert(states.size() == builder_.graphRef().order());
-    const telemetry::ScopedTimer roundTimer(metrics_.roundDuration);
-    const std::uint64_t key = roundKey(round_);
-    {
-      const telemetry::ScopedTimer t(metrics_.snapshotDuration);
-      snapshot_ = states;
-    }
-    pending_.clear();
-    {
-      const telemetry::ScopedTimer t(metrics_.evaluateDuration);
-      for (graph::Vertex v = 0; v < snapshot_.size(); ++v) {
-        const LocalView<State> view = builder_.build(v, snapshot_, key);
-        if (auto next = protocol_->onRound(view)) {
-          assert(!(*next == snapshot_[v]) &&
-                 "a move must change the node's state");
-          pending_.emplace_back(v, std::move(*next));
-        }
-      }
-    }
-    {
-      const telemetry::ScopedTimer t(metrics_.commitDuration);
-      for (auto& [v, next] : pending_) states[v] = std::move(next);
-    }
-    const std::size_t moves = pending_.size();
-    if (metrics_.rounds != nullptr) metrics_.rounds->inc();
-    if (metrics_.moves != nullptr) metrics_.moves->inc(moves);
-    if (events_ != nullptr) {
-      events_->emit("round", {{"executor", "sync"},
-                              {"round", round_},
-                              {"moves", moves}});
-    }
-    ++round_;
-    return moves;
+    return schedule_ == Schedule::Active ? stepActive(states)
+                                         : stepDense(states);
   }
+
+  /// Tells an Active-schedule runner that states or topology were mutated
+  /// externally (fault injection, topology churn) behind its back: the next
+  /// round re-snapshots and evaluates every node, exactly like round 0.
+  /// Harmless no-op under the Dense schedule. Topology edits through the
+  /// runner's own Graph reference are detected automatically via
+  /// Graph::version(), but state-vector edits are invisible without this.
+  void invalidateSchedule() noexcept { scheduleValid_ = false; }
+
+  [[nodiscard]] Schedule schedule() const noexcept { return schedule_; }
 
   /// Runs until a fixpoint or until maxRounds rounds have executed. The
   /// final zero-move verification round is not counted in
@@ -167,12 +163,104 @@ class SyncRunner {
   }
 
  private:
+  std::size_t stepDense(std::vector<State>& states) {
+    const telemetry::ScopedTimer roundTimer(metrics_.roundDuration);
+    const std::uint64_t key = roundKey(round_);
+    {
+      const telemetry::ScopedTimer t(metrics_.snapshotDuration);
+      snapshot_ = states;
+    }
+    pending_.clear();
+    {
+      const telemetry::ScopedTimer t(metrics_.evaluateDuration);
+      for (graph::Vertex v = 0; v < snapshot_.size(); ++v) {
+        evaluateOne(v, key);
+      }
+    }
+    {
+      const telemetry::ScopedTimer t(metrics_.commitDuration);
+      for (auto& [v, next] : pending_) states[v] = std::move(next);
+    }
+    return finishRound(snapshot_.size());
+  }
+
+  std::size_t stepActive(std::vector<State>& states) {
+    const telemetry::ScopedTimer roundTimer(metrics_.roundDuration);
+    const std::uint64_t key = roundKey(round_);
+    {
+      const telemetry::ScopedTimer t(metrics_.snapshotDuration);
+      if (!scheduleValid_ || snapshot_.size() != states.size() ||
+          graphVersion_ != builder_.graphRef().version()) {
+        snapshot_ = states;  // the only full copy Active ever makes
+        active_.reset(states.size());
+        active_.seedAll();
+        graphVersion_ = builder_.graphRef().version();
+        scheduleValid_ = true;
+      }
+    }
+    pending_.clear();
+    std::size_t evaluated = 0;
+    {
+      const telemetry::ScopedTimer t(metrics_.evaluateDuration);
+      if (protocol_->usesRoundEntropy()) {
+        evaluated = snapshot_.size();
+        for (graph::Vertex v = 0; v < snapshot_.size(); ++v) {
+          evaluateOne(v, key);
+        }
+      } else {
+        evaluated = active_.current().size();
+        for (const graph::Vertex v : active_.current()) evaluateOne(v, key);
+      }
+    }
+    {
+      const telemetry::ScopedTimer t(metrics_.commitDuration);
+      for (auto& [v, next] : pending_) {
+        states[v] = next;
+        snapshot_[v] = std::move(next);
+        // The mover and everyone who can see it re-evaluate next round.
+        active_.mark(v);
+        for (const graph::Vertex w : builder_.neighborsOf(v)) active_.mark(w);
+      }
+      active_.advance();
+    }
+    return finishRound(evaluated);
+  }
+
+  // Evaluates v's rules against the snapshot; queues a move if enabled.
+  void evaluateOne(graph::Vertex v, std::uint64_t key) {
+    const LocalView<State> view = builder_.build(v, snapshot_, key);
+    if (auto next = protocol_->onRound(view)) {
+      assert(!(*next == snapshot_[v]) && "a move must change the node's state");
+      pending_.emplace_back(v, std::move(*next));
+    }
+  }
+
+  // Shared round epilogue: telemetry, round event, round counter.
+  std::size_t finishRound(std::size_t evaluated) {
+    const std::size_t moves = pending_.size();
+    if (metrics_.rounds != nullptr) metrics_.rounds->inc();
+    if (metrics_.moves != nullptr) metrics_.moves->inc(moves);
+    recordActivation(metrics_, evaluated, snapshot_.size());
+    if (events_ != nullptr) {
+      events_->emit("round", {{"executor", "sync"},
+                              {"round", round_},
+                              {"moves", moves},
+                              {"active", evaluated}});
+    }
+    ++round_;
+    return moves;
+  }
+
   const Protocol<State>* protocol_;
   ViewBuilder<State> builder_;
   std::uint64_t runSeed_;
+  Schedule schedule_;
   std::size_t round_ = 0;
   std::vector<State> snapshot_;
   std::vector<std::pair<graph::Vertex, State>> pending_;
+  ActiveSet active_;
+  bool scheduleValid_ = false;
+  std::uint64_t graphVersion_ = 0;
   RunnerMetrics metrics_;
   telemetry::EventLog* events_ = nullptr;
 };

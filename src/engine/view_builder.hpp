@@ -1,6 +1,8 @@
 // Shared helper for constructing LocalViews from a global state vector.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "engine/protocol.hpp"
@@ -11,6 +13,13 @@ namespace selfstab::engine {
 /// reusing one neighbor buffer across calls. The returned view aliases both
 /// the builder's buffer and the state vector passed in, so it is valid only
 /// until the next build() call or state mutation.
+///
+/// Internally the builder mirrors the graph's adjacency into a flat CSR
+/// layout (offsets + targets + pre-resolved ids) so that filling a view is a
+/// cache-linear sweep over one contiguous slice instead of a pointer-chasing
+/// walk over per-vertex vectors. The mirror revalidates lazily against
+/// Graph::version(), so post-construction topology edits are still
+/// reflected — the contract existing callers rely on.
 template <typename State>
 class ViewBuilder {
  public:
@@ -19,9 +28,14 @@ class ViewBuilder {
 
   LocalView<State> build(graph::Vertex v, const std::vector<State>& states,
                          std::uint64_t roundKey = 0) {
+    refresh();
     buffer_.clear();
-    for (const graph::Vertex w : g_->neighbors(v)) {
-      buffer_.push_back(NeighborRef<State>{w, ids_->idOf(w), &states[w]});
+    const std::size_t begin = offsets_[v];
+    const std::size_t end = offsets_[v + 1];
+    buffer_.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      buffer_.push_back(
+          NeighborRef<State>{targets_[i], targetIds_[i], &states[targets_[i]]});
     }
     LocalView<State> view;
     view.self = v;
@@ -32,15 +46,53 @@ class ViewBuilder {
     return view;
   }
 
+  /// Neighbors of v in ascending vertex order, straight from the CSR mirror.
+  /// The span is invalidated by graph mutation followed by a refresh.
+  [[nodiscard]] std::span<const graph::Vertex> neighborsOf(graph::Vertex v) {
+    refresh();
+    return {targets_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
   [[nodiscard]] const graph::Graph& graphRef() const noexcept { return *g_; }
   [[nodiscard]] const graph::IdAssignment& ids() const noexcept {
     return *ids_;
   }
 
  private:
+  // Rebuilds the CSR mirror iff the graph mutated since the last build.
+  void refresh() {
+    if (fresh_ && cachedVersion_ == g_->version() &&
+        offsets_.size() == g_->order() + 1) {
+      return;
+    }
+    const std::size_t n = g_->order();
+    offsets_.resize(n + 1);
+    targets_.clear();
+    targetIds_.clear();
+    targets_.reserve(2 * g_->size());
+    targetIds_.reserve(2 * g_->size());
+    offsets_[0] = 0;
+    for (graph::Vertex v = 0; v < n; ++v) {
+      for (const graph::Vertex w : g_->neighbors(v)) {
+        targets_.push_back(w);
+        targetIds_.push_back(ids_->idOf(w));
+      }
+      offsets_[v + 1] = targets_.size();
+    }
+    cachedVersion_ = g_->version();
+    fresh_ = true;
+  }
+
   const graph::Graph* g_;
   const graph::IdAssignment* ids_;
   std::vector<NeighborRef<State>> buffer_;
+
+  // Flat CSR mirror of the adjacency, ids pre-resolved per slot.
+  std::vector<std::size_t> offsets_;
+  std::vector<graph::Vertex> targets_;
+  std::vector<graph::Id> targetIds_;
+  std::uint64_t cachedVersion_ = 0;
+  bool fresh_ = false;
 };
 
 }  // namespace selfstab::engine

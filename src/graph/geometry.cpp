@@ -14,9 +14,71 @@ std::vector<Point> randomPoints(std::size_t n, Rng& rng) {
 Graph unitDiskGraph(const std::vector<Point>& points, double radius) {
   Graph g(points.size());
   const double r2 = radius * radius;
-  for (Vertex u = 0; u < points.size(); ++u) {
-    for (Vertex v = u + 1; v < points.size(); ++v) {
-      if (squaredDistance(points[u], points[v]) <= r2) g.addEdge(u, v);
+
+  // Spatial hashing: bucket the unit square into cells of side >= radius, so
+  // every in-range pair lives in the same or an adjacent cell. Expected cost
+  // is O(n + m) instead of the all-pairs O(n^2), which is what makes
+  // 100k-node geometric topologies practical. Small inputs keep the direct
+  // scan — building the grid would cost more than it saves.
+  if (points.size() < 256 || radius <= 0.0 || radius >= 0.5) {
+    for (Vertex u = 0; u < points.size(); ++u) {
+      for (Vertex v = u + 1; v < points.size(); ++v) {
+        if (squaredDistance(points[u], points[v]) <= r2) g.addEdge(u, v);
+      }
+    }
+    return g;
+  }
+
+  const auto side = static_cast<std::size_t>(1.0 / radius);  // side >= 2
+  const auto cellOf = [&](const Point& p) {
+    auto cx = static_cast<std::size_t>(p.x * static_cast<double>(side));
+    auto cy = static_cast<std::size_t>(p.y * static_cast<double>(side));
+    cx = std::min(cx, side - 1);
+    cy = std::min(cy, side - 1);
+    return cy * side + cx;
+  };
+
+  // Counting sort of vertices into cells (CSR layout: offsets + members).
+  std::vector<std::size_t> offsets(side * side + 1, 0);
+  for (const Point& p : points) ++offsets[cellOf(p) + 1];
+  for (std::size_t c = 1; c < offsets.size(); ++c) offsets[c] += offsets[c - 1];
+  std::vector<Vertex> members(points.size());
+  {
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (Vertex v = 0; v < points.size(); ++v) {
+      members[cursor[cellOf(points[v])]++] = v;
+    }
+  }
+
+  for (std::size_t cy = 0; cy < side; ++cy) {
+    for (std::size_t cx = 0; cx < side; ++cx) {
+      const std::size_t c = cy * side + cx;
+      for (std::size_t i = offsets[c]; i < offsets[c + 1]; ++i) {
+        const Vertex u = members[i];
+        // Same cell: remaining members only, each pair visited once.
+        for (std::size_t j = i + 1; j < offsets[c + 1]; ++j) {
+          const Vertex v = members[j];
+          if (squaredDistance(points[u], points[v]) <= r2) g.addEdge(u, v);
+        }
+        // Forward half of the 8-neighborhood (E, SW, S, SE): every adjacent
+        // cell pair is visited exactly once.
+        constexpr int kDx[] = {1, -1, 0, 1};
+        constexpr int kDy[] = {0, 1, 1, 1};
+        for (int k = 0; k < 4; ++k) {
+          const auto nx = static_cast<std::ptrdiff_t>(cx) + kDx[k];
+          const auto ny = static_cast<std::ptrdiff_t>(cy) + kDy[k];
+          if (nx < 0 || ny < 0 || nx >= static_cast<std::ptrdiff_t>(side) ||
+              ny >= static_cast<std::ptrdiff_t>(side)) {
+            continue;
+          }
+          const std::size_t d = static_cast<std::size_t>(ny) * side +
+                                static_cast<std::size_t>(nx);
+          for (std::size_t j = offsets[d]; j < offsets[d + 1]; ++j) {
+            const Vertex v = members[j];
+            if (squaredDistance(points[u], points[v]) <= r2) g.addEdge(u, v);
+          }
+        }
+      }
     }
   }
   return g;

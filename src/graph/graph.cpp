@@ -31,6 +31,7 @@ bool Graph::addEdge(Vertex u, Vertex v) {
   if (!sortedInsert(adj_[u], v)) return false;
   sortedInsert(adj_[v], u);
   ++edgeCount_;
+  ++version_;
   return true;
 }
 
@@ -40,6 +41,7 @@ bool Graph::removeEdge(Vertex u, Vertex v) {
   if (!sortedErase(adj_[u], v)) return false;
   sortedErase(adj_[v], u);
   --edgeCount_;
+  ++version_;
   return true;
 }
 
@@ -75,6 +77,7 @@ std::vector<Edge> Graph::edges() const {
 
 void Graph::clearEdges() {
   for (auto& nbrs : adj_) nbrs.clear();
+  if (edgeCount_ > 0) ++version_;
   edgeCount_ = 0;
 }
 

@@ -88,11 +88,21 @@ class Graph {
   /// otherwise. Returns true if the edge is present afterwards.
   bool toggleEdge(Vertex u, Vertex v);
 
-  friend bool operator==(const Graph&, const Graph&) = default;
+  /// Monotone mutation counter: bumped by every successful edge insertion or
+  /// removal. Lets adjacency caches (engine::ViewBuilder's CSR mirror)
+  /// revalidate with a single integer compare instead of a deep scan.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  /// Equality is structural (same adjacency), independent of the mutation
+  /// history that produced it.
+  friend bool operator==(const Graph& a, const Graph& b) {
+    return a.adj_ == b.adj_;
+  }
 
  private:
   std::vector<std::vector<Vertex>> adj_;
   std::size_t edgeCount_ = 0;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace selfstab::graph

@@ -28,6 +28,12 @@ inline constexpr const char* kWorkerChunkDuration =
     "worker_chunk_duration_seconds";
 inline constexpr const char* kWorkerImbalance = "worker_imbalance_ratio";
 
+// Active-set scheduling (both executors; the beacon simulator reuses the
+// counters for per-interval rule evaluations vs dirty-skip suppressions).
+inline constexpr const char* kActiveNodes = "active_nodes_total";
+inline constexpr const char* kSkippedNodes = "skipped_nodes_total";
+inline constexpr const char* kActivationFraction = "round_active_fraction";
+
 // Beacon network (adhoc::NetworkSimulator).
 inline constexpr const char* kBeaconsSent = "beacons_sent_total";
 inline constexpr const char* kBeaconsDelivered = "beacons_delivered_total";

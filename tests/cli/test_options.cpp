@@ -64,6 +64,7 @@ TEST(ParseOptions, Defaults) {
   EXPECT_EQ(o.start, StartKind::Clean);
   EXPECT_EQ(o.seed, 1u);
   EXPECT_EQ(o.maxRounds, 0u);
+  EXPECT_EQ(o.schedule, engine::Schedule::Dense);
   EXPECT_FALSE(o.trace);
   EXPECT_FALSE(o.help);
 }
@@ -109,6 +110,15 @@ TEST(ParseOptions, TelemetryFlags) {
   EXPECT_TRUE(parseOptions({}).eventsPath.empty());
   EXPECT_THROW(parseOptions({"--metrics"}), CliError);
   EXPECT_THROW(parseOptions({"--events"}), CliError);
+}
+
+TEST(ParseOptions, Schedule) {
+  EXPECT_EQ(parseOptions({"--schedule", "dense"}).schedule,
+            engine::Schedule::Dense);
+  EXPECT_EQ(parseOptions({"--schedule", "active"}).schedule,
+            engine::Schedule::Active);
+  EXPECT_THROW(parseOptions({"--schedule", "lazy"}), CliError);
+  EXPECT_THROW(parseOptions({"--schedule"}), CliError);  // missing value
 }
 
 TEST(ParseOptions, Help) {

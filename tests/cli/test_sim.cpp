@@ -16,6 +16,7 @@ TEST(ParseSimOptions, Defaults) {
   EXPECT_EQ(o.beaconInterval, 100 * adhoc::kMillisecond);
   EXPECT_DOUBLE_EQ(o.lossProbability, 0.0);
   EXPECT_EQ(o.collisionWindow, 0);
+  EXPECT_EQ(o.schedule, engine::Schedule::Dense);
   EXPECT_EQ(o.mobility, MobilityKind::Static);
   EXPECT_TRUE(o.untilQuiet);
   EXPECT_FALSE(o.help);
@@ -43,6 +44,14 @@ TEST(ParseSimOptions, AllFlags) {
   EXPECT_EQ(o.duration, 90 * adhoc::kSecond);
   EXPECT_EQ(o.reportEvery, 5 * adhoc::kSecond);
   EXPECT_FALSE(o.untilQuiet);
+}
+
+TEST(ParseSimOptions, Schedule) {
+  EXPECT_EQ(parseSimOptions({"--schedule", "active"}).schedule,
+            engine::Schedule::Active);
+  EXPECT_EQ(parseSimOptions({"--schedule", "dense"}).schedule,
+            engine::Schedule::Dense);
+  EXPECT_THROW((void)parseSimOptions({"--schedule", "eager"}), CliError);
 }
 
 TEST(ParseSimOptions, Rejections) {
@@ -76,6 +85,29 @@ TEST(ExecuteSim, SmmStaticDeploymentVerifies) {
   EXPECT_GT(report.beaconsSent, 0u);
   EXPECT_NE(report.summary.find("matching"), std::string::npos);
   EXPECT_NE(out.str().find("time(s)"), std::string::npos);
+}
+
+TEST(ExecuteSim, ActiveScheduleSkipsEvaluationsAndStillVerifies) {
+  SimOptions dense;
+  dense.nodes = 15;
+  dense.seed = 3;
+  dense.duration = 120 * adhoc::kSecond;
+  SimOptions active = dense;
+  active.schedule = engine::Schedule::Active;
+
+  std::ostringstream denseOut;
+  std::ostringstream activeOut;
+  const SimReport denseReport = executeSim(dense, denseOut);
+  const SimReport activeReport = executeSim(active, activeOut);
+
+  EXPECT_TRUE(activeReport.quiet);
+  EXPECT_TRUE(activeReport.predicateOk);
+  // Same deployment, same seed: the protocol outcome is unaffected by the
+  // schedule, but the quiescent tail of the run stops evaluating rules.
+  EXPECT_EQ(activeReport.summary, denseReport.summary);
+  EXPECT_EQ(denseReport.evaluationsSkipped, 0u);
+  EXPECT_GT(activeReport.evaluationsSkipped, 0u);
+  EXPECT_LT(activeReport.ruleEvaluations, denseReport.ruleEvaluations);
 }
 
 TEST(ExecuteSim, SisWithLossVerifies) {
@@ -198,6 +230,8 @@ TEST(PrintSimReportJson, EmitsOneParsableObject) {
   report.beaconsSent = 1750;
   report.beaconsDelivered = 6902;
   report.moves = 31;
+  report.ruleEvaluations = 1740;
+  report.evaluationsSkipped = 10;
   report.summary = "matching: 12 pair(s)";
   std::ostringstream out;
   printSimReportJson(report, out);
@@ -207,6 +241,7 @@ TEST(PrintSimReportJson, EmitsOneParsableObject) {
             "\"rounds\":70,\"quiet\":true,\"predicateOk\":true,"
             "\"beaconsSent\":1750,\"beaconsDelivered\":6902,"
             "\"beaconsLost\":0,\"beaconsCollided\":0,\"moves\":31,"
+            "\"ruleEvaluations\":1740,\"evaluationsSkipped\":10,"
             "\"summary\":\"matching: 12 pair(s)\"}\n");
 }
 

@@ -74,7 +74,7 @@ TEST(Replay, TruncatedScheduleGivesPrefixConfiguration) {
   ASSERT_GE(recording.schedule.size(), 2u);
 
   // Replaying the first k rounds must equal stepping the runner k times.
-  Schedule prefix(recording.schedule.begin(),
+  MoverSchedule prefix(recording.schedule.begin(),
                   recording.schedule.begin() + 2);
   auto viaReplay = recording.initialStates;
   replaySchedule(smm, g, ids, viaReplay, prefix);
@@ -92,7 +92,7 @@ TEST(Replay, EmptyScheduleIsNoop) {
   const core::SmmProtocol smm = core::smmPaper();
   std::vector<PointerState> states(5);
   const auto original = states;
-  EXPECT_EQ(replaySchedule(smm, g, ids, states, Schedule{}), 0u);
+  EXPECT_EQ(replaySchedule(smm, g, ids, states, MoverSchedule{}), 0u);
   EXPECT_EQ(states, original);
 }
 

@@ -1,0 +1,202 @@
+// Self-stabilization property suite: the paper's convergence theorems as
+// executable properties.
+//
+// Self-stabilization is a universally-quantified claim — from EVERY initial
+// configuration the protocol reaches a legitimate configuration within a
+// bounded number of rounds. This suite samples that quantifier: adversarial
+// (type-garbage) initial states over randomized connected topologies and ID
+// orders, asserting both the round bound and verifier-checked legitimacy:
+//
+//   * SMM stabilizes to a maximal matching in at most 2n+1 synchronous
+//     rounds (Theorem 1),
+//   * SIS stabilizes to a maximal independent set in at most n rounds
+//     (Theorem 2),
+//
+// under BOTH schedules (the Active runs double as end-to-end evidence that
+// scheduling does not stretch the bounds). Failures print the seed needed
+// to replay the exact (graph, IDs, initial state) combination.
+//
+// SELFSTAB_STRESS_ITERS scales the per-theorem iteration count.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "analysis/verifiers.hpp"
+#include "core/sis.hpp"
+#include "core/smm.hpp"
+#include "engine/fault.hpp"
+#include "engine/sync_runner.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab {
+namespace {
+
+using engine::Schedule;
+using engine::SyncRunner;
+using graph::Graph;
+using graph::IdAssignment;
+using graph::Vertex;
+
+std::size_t stressIters(std::size_t fallback) {
+  if (const char* env = std::getenv("SELFSTAB_STRESS_ITERS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+// Connected topologies only: the paper's system model assumes the ad hoc
+// network stays connected.
+Graph makeConnectedGraph(std::size_t family, graph::Rng& rng) {
+  switch (family % 7) {
+    case 0:
+      return graph::connectedErdosRenyi(6 + rng.below(30), 0.15, rng);
+    case 1:
+      return graph::connectedRandomGeometric(6 + rng.below(30), 0.35, rng);
+    case 2:
+      return graph::path(2 + rng.below(30));
+    case 3:
+      return graph::star(2 + rng.below(30));
+    case 4:
+      return graph::complete(2 + rng.below(12));
+    case 5:
+      return graph::cycle(3 + rng.below(24));
+    default:
+      return graph::randomTree(2 + rng.below(30), rng);
+  }
+}
+
+IdAssignment makeIds(const Graph& g, std::uint64_t choice, graph::Rng& rng) {
+  switch (choice % 4) {
+    case 0:
+      return IdAssignment::identity(g.order());
+    case 1:
+      return IdAssignment::reversed(g.order());
+    case 2:
+      return IdAssignment::randomPermutation(g.order(), rng);
+    default:
+      return IdAssignment::randomSparse(g.order(), rng);
+  }
+}
+
+TEST(SelfStabilizationProperties, SmmConvergesWithin2nPlus1Rounds) {
+  const core::SmmProtocol smm = core::smmPaper();
+  const std::size_t iters = stressIters(40);
+  for (std::uint64_t seed = 0; seed < iters; ++seed) {
+    graph::Rng rng(0x51110000 + seed);
+    const Graph g = makeConnectedGraph(static_cast<std::size_t>(seed), rng);
+    const IdAssignment ids = makeIds(g, seed / 7, rng);
+    // Adversarial start: wild pointers, including self-loops and values that
+    // do not name any neighbor.
+    const auto start = engine::randomConfiguration<core::PointerState>(
+        g, rng, core::wildPointerState);
+    const std::size_t bound = 2 * g.order() + 1;
+
+    for (const Schedule schedule : {Schedule::Dense, Schedule::Active}) {
+      SyncRunner<core::PointerState> runner(smm, g, ids, seed, schedule);
+      auto states = start;
+      const engine::RunResult result = runner.run(states, bound);
+      ASSERT_TRUE(result.stabilized)
+          << "SMM failed to stabilize within 2n+1=" << bound
+          << " rounds; schedule=" << toString(schedule) << " n=" << g.order()
+          << " m=" << g.size() << " replay seed=" << seed;
+      ASSERT_LE(result.rounds, bound);
+      ASSERT_TRUE(analysis::checkMatchingFixpoint(g, states).ok())
+          << "SMM fixpoint is not a maximal matching; schedule="
+          << toString(schedule) << " replay seed=" << seed;
+    }
+  }
+}
+
+TEST(SelfStabilizationProperties, SisConvergesWithinNRounds) {
+  const core::SisProtocol sis;
+  const std::size_t iters = stressIters(40);
+  for (std::uint64_t seed = 0; seed < iters; ++seed) {
+    graph::Rng rng(0x51520000 + seed);
+    const Graph g = makeConnectedGraph(static_cast<std::size_t>(seed), rng);
+    const IdAssignment ids = makeIds(g, seed / 7, rng);
+    const auto start = engine::randomConfiguration<core::BitState>(
+        g, rng, core::randomBitState);
+    const std::size_t bound = g.order();
+
+    for (const Schedule schedule : {Schedule::Dense, Schedule::Active}) {
+      SyncRunner<core::BitState> runner(sis, g, ids, seed, schedule);
+      auto states = start;
+      const engine::RunResult result = runner.run(states, bound);
+      ASSERT_TRUE(result.stabilized)
+          << "SIS failed to stabilize within n=" << bound
+          << " rounds; schedule=" << toString(schedule) << " m=" << g.size()
+          << " replay seed=" << seed;
+      ASSERT_LE(result.rounds, bound);
+      ASSERT_TRUE(
+          analysis::isMaximalIndependentSet(g, analysis::membersOf(states)))
+          << "SIS fixpoint is not a maximal independent set; schedule="
+          << toString(schedule) << " replay seed=" << seed;
+    }
+  }
+}
+
+TEST(SelfStabilizationProperties, SmmRecoversFromFaultBurstsWithinBound) {
+  // Stabilize, corrupt a fraction of nodes, and demand re-stabilization
+  // within the same 2n+1 bound — the "self" in self-stabilizing. Exercises
+  // corruptAndReschedule on both schedules.
+  const core::SmmProtocol smm = core::smmPaper();
+  const std::size_t iters = stressIters(20);
+  for (std::uint64_t seed = 0; seed < iters; ++seed) {
+    graph::Rng rng(0x5fa10000 + seed);
+    const Graph g = makeConnectedGraph(static_cast<std::size_t>(seed), rng);
+    const IdAssignment ids = makeIds(g, seed / 7, rng);
+    const std::size_t bound = 2 * g.order() + 1;
+
+    for (const Schedule schedule : {Schedule::Dense, Schedule::Active}) {
+      SyncRunner<core::PointerState> runner(smm, g, ids, seed, schedule);
+      auto states = runner.initialStates();
+      ASSERT_TRUE(runner.run(states, bound).stabilized);
+
+      graph::Rng faultRng(seed * 977 + 5);
+      engine::corruptAndReschedule(runner, states, g, faultRng, 0.3,
+                                   core::wildPointerState);
+      const engine::RunResult recovery = runner.run(states, bound);
+      ASSERT_TRUE(recovery.stabilized)
+          << "SMM failed to re-stabilize after a fault burst; schedule="
+          << toString(schedule) << " n=" << g.order()
+          << " replay seed=" << seed;
+      ASSERT_TRUE(analysis::checkMatchingFixpoint(g, states).ok())
+          << "schedule=" << toString(schedule) << " replay seed=" << seed;
+    }
+  }
+}
+
+TEST(SelfStabilizationProperties, SisFaultRecoveryLandsOnTheUniqueFixpoint) {
+  // SIS has a unique fixpoint per (graph, IDs); recovery must land exactly
+  // there regardless of what the fault burst scrambled.
+  const core::SisProtocol sis;
+  const std::size_t iters = stressIters(20);
+  for (std::uint64_t seed = 0; seed < iters; ++seed) {
+    graph::Rng rng(0x5fa20000 + seed);
+    const Graph g = makeConnectedGraph(static_cast<std::size_t>(seed), rng);
+    const IdAssignment ids = makeIds(g, seed / 7, rng);
+    const std::size_t bound = g.order();
+
+    std::vector<core::BitState> reference(g.order());
+    SyncRunner<core::BitState> refRunner(sis, g, ids, seed, Schedule::Dense);
+    ASSERT_TRUE(refRunner.run(reference, bound).stabilized);
+
+    for (const Schedule schedule : {Schedule::Dense, Schedule::Active}) {
+      SyncRunner<core::BitState> runner(sis, g, ids, seed, schedule);
+      std::vector<core::BitState> states(g.order());
+      ASSERT_TRUE(runner.run(states, bound).stabilized);
+      graph::Rng faultRng(seed * 31 + 9);
+      engine::corruptAndReschedule(runner, states, g, faultRng, 0.5,
+                                   core::randomBitState);
+      ASSERT_TRUE(runner.run(states, bound).stabilized)
+          << "schedule=" << toString(schedule) << " replay seed=" << seed;
+      ASSERT_TRUE(states == reference)
+          << "schedule=" << toString(schedule) << " replay seed=" << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace selfstab

@@ -71,6 +71,74 @@ TEST(ViewBuilder, ReflectsGraphMutation) {
   EXPECT_EQ(builder.build(0, states).neighbors.size(), 1u);
   g.addEdge(0, 2);
   EXPECT_EQ(builder.build(0, states).neighbors.size(), 2u);
+  g.removeEdge(0, 1);
+  EXPECT_EQ(builder.build(0, states).neighbors.size(), 1u);
+  EXPECT_EQ(builder.build(0, states).neighbors[0].vertex, 2u);
+}
+
+// Regression for the LocalView::find rewrite (linear scan -> lower_bound):
+// on every vertex of a random graph, find() must agree exactly with the
+// adjacency — hit every true neighbor, miss self and every non-neighbor,
+// and return the entry carrying the right ID and state pointer.
+TEST(ViewBuilder, FindMatchesAdjacencyExhaustively) {
+  graph::Rng rng(811);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = graph::connectedErdosRenyi(30, 0.2, rng);
+    graph::Rng idRng(trial);
+    const auto ids = IdAssignment::randomSparse(g.order(), idRng);
+    ViewBuilder<ValueState> builder(g, ids);
+    std::vector<ValueState> states(g.order());
+    for (graph::Vertex v = 0; v < g.order(); ++v) {
+      states[v].value = v;
+    }
+    for (graph::Vertex v = 0; v < g.order(); ++v) {
+      const auto view = builder.build(v, states);
+      for (graph::Vertex w = 0; w < g.order(); ++w) {
+        const auto* entry = view.find(w);
+        if (g.hasEdge(v, w)) {
+          ASSERT_NE(entry, nullptr) << "v=" << v << " w=" << w;
+          EXPECT_EQ(entry->vertex, w);
+          EXPECT_EQ(entry->id, ids.idOf(w));
+          EXPECT_EQ(entry->state->value, w);
+        } else {
+          ASSERT_EQ(entry, nullptr) << "v=" << v << " w=" << w;
+        }
+      }
+      // Out-of-range probes (binary search must not walk off the span).
+      EXPECT_EQ(view.find(graph::kNoVertex), nullptr);
+      EXPECT_EQ(view.find(static_cast<graph::Vertex>(g.order() + 5)), nullptr);
+    }
+  }
+}
+
+// The CSR mirror exposed via neighborsOf must equal Graph::neighbors and
+// revalidate across arbitrary mutation sequences (Graph::version bumps).
+TEST(ViewBuilder, NeighborsOfMirrorsGraphAcrossMutations) {
+  graph::Rng rng(813);
+  Graph g = graph::connectedErdosRenyi(20, 0.15, rng);
+  const auto ids = IdAssignment::identity(g.order());
+  ViewBuilder<ValueState> builder(g, ids);
+
+  const auto check = [&] {
+    for (graph::Vertex v = 0; v < g.order(); ++v) {
+      const auto mirrored = builder.neighborsOf(v);
+      const auto truth = g.neighbors(v);
+      ASSERT_EQ(mirrored.size(), truth.size()) << "v=" << v;
+      for (std::size_t i = 0; i < truth.size(); ++i) {
+        EXPECT_EQ(mirrored[i], truth[i]) << "v=" << v << " slot " << i;
+      }
+    }
+  };
+
+  check();
+  for (int round = 0; round < 30; ++round) {
+    const auto u = static_cast<graph::Vertex>(rng.below(g.order()));
+    const auto w = static_cast<graph::Vertex>(rng.below(g.order()));
+    if (u != w) g.toggleEdge(u, w);
+    check();
+  }
+  g.clearEdges();
+  check();
 }
 
 }  // namespace
