@@ -1,11 +1,19 @@
 // Microbenchmarks for the beacon-model simulator: events/second and cost of
-// simulated protocol time.
+// simulated protocol time, plus a machine-readable grid-vs-scan comparison
+// appended to $SELFSTAB_BENCH_JSON before the google-benchmark run.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "adhoc/network.hpp"
 #include "core/sis.hpp"
 #include "core/smm.hpp"
 #include "graph/generators.hpp"
+#include "support/bench_json.hpp"
 
 namespace selfstab::adhoc {
 namespace {
@@ -60,7 +68,61 @@ void BM_MobileSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_MobileSimulation)->Arg(16)->Arg(64);
 
+// One measured grid-vs-scan data point at a size where the gap is already
+// visible (n = 4096, two beacon intervals, collisions on). Also re-checks
+// that both modes end bit-identical, so a perf regression hunt can trust
+// the comparison.
+void emitGridVsScan() {
+  constexpr std::size_t kNodes = 4096;
+  const core::SisProtocol sis;
+  const IdAssignment ids = IdAssignment::identity(kNodes);
+
+  const auto runMode = [&](IndexMode index, QueueMode queue, double* seconds) {
+    NetworkConfig config;
+    config.seed = 9;
+    config.radius = 1.2 / std::sqrt(static_cast<double>(kNodes));
+    config.lossProbability = 0.05;
+    config.collisionWindow = config.beaconInterval / 20;
+    config.index = index;
+    config.queue = queue;
+    StaticPlacement mobility(points(kNodes, 5));
+    NetworkSimulator<BitState> sim(sis, ids, mobility, config);
+    const auto t0 = std::chrono::steady_clock::now();
+    sim.run(2 * config.beaconInterval);
+    *seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return std::make_pair(sim.states(), sim.indexStats().rangeChecks);
+  };
+
+  double gridSeconds = 0.0;
+  double scanSeconds = 0.0;
+  const auto grid =
+      runMode(IndexMode::Grid, QueueMode::Calendar, &gridSeconds);
+  const auto scan = runMode(IndexMode::Scan, QueueMode::Heap, &scanSeconds);
+  if (grid.first != scan.first) {
+    std::fprintf(stderr,
+                 "micro_network: grid and scan trajectories diverged\n");
+    std::exit(1);
+  }
+  bench::appendBenchJson(
+      "micro_network_grid_vs_scan",
+      {{"n", static_cast<double>(kNodes)},
+       {"grid_seconds", gridSeconds},
+       {"scan_seconds", scanSeconds},
+       {"speedup", scanSeconds / gridSeconds},
+       {"grid_range_checks", static_cast<double>(grid.second)},
+       {"scan_range_checks", static_cast<double>(scan.second)}});
+}
+
 }  // namespace
 }  // namespace selfstab::adhoc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  selfstab::adhoc::emitGridVsScan();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,183 @@
+// Scale benchmark and hard performance gate for the beacon simulator's
+// spatial-index rework.
+//
+// Two stages, both on a geometric deployment with loss, MAC collisions, and
+// random-waypoint mobility all enabled (radius 1.2/sqrt(n) keeps expected
+// degree constant, the regime where one beacon interval should cost
+// O(n * deg) — not O(n^2)):
+//
+//  1. Gate at n = 10^5: the grid+calendar simulator and the scan+heap
+//     reference run the same slice of simulated time. Their trajectories
+//     must be bit-identical, the wall-clock speedup must be >= 10x, and the
+//     exact-distance-check count must shrink >= 20x.
+//  2. Demo at n = 10^6 over 20 beacon intervals, grid only (the reference
+//     would take hours): the reference cost is extrapolated from stage 1's
+//     measured seconds-per-range-check and checks-per-beacon (both scale
+//     linearly in n), and the extrapolated speedup must be >= 10x.
+//
+// Exits non-zero if any gate fails. Results append to $SELFSTAB_BENCH_JSON
+// (see bench/support/bench_json.hpp). SELFSTAB_SCALE_GATE_N /
+// SELFSTAB_SCALE_DEMO_N override the sizes for smoke runs.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "adhoc/mobility.hpp"
+#include "adhoc/network.hpp"
+#include "bench/support/bench_json.hpp"
+#include "core/sis.hpp"
+#include "graph/geometry.hpp"
+#include "graph/id_order.hpp"
+
+namespace {
+
+using namespace selfstab;
+using adhoc::IndexMode;
+using adhoc::QueueMode;
+using adhoc::SimTime;
+
+struct RunResult {
+  double seconds = 0.0;
+  adhoc::NetworkStats stats;
+  adhoc::IndexStats index;
+  std::vector<core::BitState> states;
+};
+
+adhoc::NetworkConfig makeConfig(std::size_t n) {
+  adhoc::NetworkConfig cfg;
+  cfg.seed = 42;
+  cfg.radius = 1.2 / std::sqrt(static_cast<double>(n));
+  cfg.lossProbability = 0.05;
+  cfg.collisionWindow = cfg.beaconInterval / 20;
+  return cfg;
+}
+
+RunResult runOnce(std::size_t n, SimTime until, IndexMode index,
+                  QueueMode queue) {
+  adhoc::NetworkConfig cfg = makeConfig(n);
+  cfg.index = index;
+  cfg.queue = queue;
+
+  graph::Rng rng(hashCombine(42, n));
+  adhoc::RandomWaypoint::Config wp;
+  wp.speedMin = 0.005;
+  wp.speedMax = 0.01;
+  adhoc::RandomWaypoint mobility(graph::randomPoints(n, rng), wp,
+                                 hashCombine(7, n));
+  const graph::IdAssignment ids = graph::IdAssignment::identity(n);
+  const core::SisProtocol sis;
+  adhoc::NetworkSimulator<core::BitState> sim(sis, ids, mobility, cfg);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run(until);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult out;
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.stats = sim.stats();
+  out.index = sim.indexStats();
+  out.states = sim.states();
+  return out;
+}
+
+std::size_t envSize(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const long long v = std::strtoll(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+bool require(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t gateN = envSize("SELFSTAB_SCALE_GATE_N", 100'000);
+  const std::size_t demoN = envSize("SELFSTAB_SCALE_DEMO_N", 1'000'000);
+  bool ok = true;
+
+  // ---- Stage 1: measured gate at gateN -----------------------------------
+  const adhoc::NetworkConfig gateCfg = makeConfig(gateN);
+  // A slice of one interval is enough for ~n/8 beacons; the reference costs
+  // O(n) per beacon either way, and a full interval would take minutes.
+  const SimTime gateUntil = gateCfg.beaconInterval / 8;
+  std::printf("scale_network stage 1: n=%zu, %lld us of simulated time\n",
+              gateN, static_cast<long long>(gateUntil));
+
+  const RunResult grid =
+      runOnce(gateN, gateUntil, IndexMode::Grid, QueueMode::Calendar);
+  std::printf("  grid+calendar: %.3fs, %zu beacons, %zu range checks\n",
+              grid.seconds, grid.stats.beaconsSent, grid.index.rangeChecks);
+  const RunResult ref =
+      runOnce(gateN, gateUntil, IndexMode::Scan, QueueMode::Heap);
+  std::printf("  scan+heap    : %.3fs, %zu beacons, %zu range checks\n",
+              ref.seconds, ref.stats.beaconsSent, ref.index.rangeChecks);
+
+  const double speedup = ref.seconds / grid.seconds;
+  const double checkRatio = static_cast<double>(ref.index.rangeChecks) /
+                            static_cast<double>(grid.index.rangeChecks);
+  std::printf("  wall speedup %.1fx, range-check reduction %.1fx\n", speedup,
+              checkRatio);
+  ok &= require(grid.states == ref.states, "bit-identical states");
+  ok &= require(grid.stats == ref.stats, "identical NetworkStats");
+  ok &= require(speedup >= 10.0, "wall-clock speedup >= 10x");
+  ok &= require(checkRatio >= 20.0, "range-check reduction >= 20x");
+
+  bench::appendBenchJson(
+      "scale_network_gate",
+      {{"n", static_cast<double>(gateN)},
+       {"sim_us", static_cast<double>(gateUntil)},
+       {"grid_seconds", grid.seconds},
+       {"ref_seconds", ref.seconds},
+       {"speedup", speedup},
+       {"grid_range_checks", static_cast<double>(grid.index.rangeChecks)},
+       {"ref_range_checks", static_cast<double>(ref.index.rangeChecks)},
+       {"check_ratio", checkRatio},
+       {"beacons", static_cast<double>(grid.stats.beaconsSent)}});
+
+  // ---- Stage 2: million-node demo, reference extrapolated ----------------
+  const adhoc::NetworkConfig demoCfg = makeConfig(demoN);
+  const SimTime demoUntil = 20 * demoCfg.beaconInterval;
+  std::printf("scale_network stage 2: n=%zu, 20 beacon intervals\n", demoN);
+  const RunResult demo =
+      runOnce(demoN, demoUntil, IndexMode::Grid, QueueMode::Calendar);
+  std::printf("  grid+calendar: %.1fs, %zu beacons, %zu range checks\n",
+              demo.seconds, demo.stats.beaconsSent, demo.index.rangeChecks);
+
+  // The reference does O(n) range checks per beacon (broadcast scan plus a
+  // full scan per in-range receiver when collisions are on); both the
+  // per-beacon check count and the per-check cost were measured in stage 1.
+  const double refChecksPerBeacon =
+      static_cast<double>(ref.index.rangeChecks) /
+      static_cast<double>(ref.stats.beaconsSent);
+  const double refSecondsPerCheck =
+      ref.seconds / static_cast<double>(ref.index.rangeChecks);
+  const double extrapolatedChecks =
+      refChecksPerBeacon *
+      (static_cast<double>(demoN) / static_cast<double>(gateN)) *
+      static_cast<double>(demo.stats.beaconsSent);
+  const double extrapolatedSeconds = extrapolatedChecks * refSecondsPerCheck;
+  const double demoSpeedup = extrapolatedSeconds / demo.seconds;
+  std::printf("  extrapolated reference: %.0fs (%.2e checks) -> %.0fx\n",
+              extrapolatedSeconds, extrapolatedChecks, demoSpeedup);
+  ok &= require(demoSpeedup >= 10.0, "extrapolated speedup >= 10x");
+
+  bench::appendBenchJson(
+      "scale_network_demo",
+      {{"n", static_cast<double>(demoN)},
+       {"sim_us", static_cast<double>(demoUntil)},
+       {"grid_seconds", demo.seconds},
+       {"beacons", static_cast<double>(demo.stats.beaconsSent)},
+       {"grid_range_checks", static_cast<double>(demo.index.rangeChecks)},
+       {"extrapolated_ref_seconds", extrapolatedSeconds},
+       {"extrapolated_speedup", demoSpeedup}});
+
+  std::printf("scale_network: %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

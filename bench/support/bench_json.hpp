@@ -1,0 +1,36 @@
+// Machine-readable benchmark results.
+//
+// Benchmarks print human summaries to stdout; CI additionally wants one
+// JSONL stream it can diff across commits. Every bench calls
+// appendBenchJson(); when the SELFSTAB_BENCH_JSON env var names a file, one
+// {"bench":"<name>",...} line is appended per call (scripts/run_all.sh
+// points it at BENCH_PR3.json), and when it is unset the call is a no-op so
+// ad hoc runs stay clean.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
+
+namespace selfstab::bench {
+
+struct JsonField {
+  const char* key;
+  double value;
+};
+
+inline void appendBenchJson(const char* name,
+                            std::initializer_list<JsonField> fields) {
+  const char* path = std::getenv("SELFSTAB_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\"bench\":\"%s\"", name);
+  for (const JsonField& field : fields) {
+    std::fprintf(f, ",\"%s\":%.17g", field.key, field.value);
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace selfstab::bench

@@ -35,6 +35,26 @@ cmake --build "$TSAN_DIR" --target telemetry_tests engine_tests stress_tests
     "$TSAN_DIR/tests/stress_tests" --gtest_filter='*Parallel*'
 } 2>&1 | tee "$ROOT/tsan_output.txt"
 
+# AddressSanitizer pass over the beacon-simulator suites: the spatial-index
+# rework moves neighbor caches and event queues onto flat vectors with
+# in-place compaction and move-out pops, exactly the kind of code ASan
+# catches misusing. The grid-vs-scan differential tests double as the
+# workload.
+ASAN_DIR="${BUILD_DIR}-asan"
+cmake -B "$ASAN_DIR" -G Ninja -S "$ROOT" -DSELFSTAB_SANITIZE=address
+cmake --build "$ASAN_DIR" --target adhoc_tests stress_tests
+{
+  "$ASAN_DIR/tests/adhoc_tests"
+  SELFSTAB_STRESS_ITERS="${SELFSTAB_ASAN_STRESS_ITERS:-3}" \
+    "$ASAN_DIR/tests/stress_tests" --gtest_filter='NetworkDifferential*'
+} 2>&1 | tee "$ROOT/asan_output.txt"
+
+# Benches append machine-readable results here (see
+# bench/support/bench_json.hpp); the PR 3 perf gates live in scale_network.
+BENCH_JSON="$ROOT/BENCH_PR3.json"
+: > "$BENCH_JSON"
+export SELFSTAB_BENCH_JSON="$BENCH_JSON"
+
 : > "$ROOT/bench_output.txt"
 status=0
 for b in "$BUILD_DIR"/bench/*; do

@@ -10,33 +10,45 @@ using graph::Vertex;
 
 RandomWaypoint::RandomWaypoint(std::vector<Point> start, Config config,
                                std::uint64_t seed)
-    : config_(config), rng_(seed) {
+    : config_(config) {
   legs_.reserve(start.size());
+  rngs_.reserve(start.size());
   for (const Point& p : start) {
     // Begin with a zero-length leg so the first position query spawns a
     // fresh trajectory from the starting point.
     legs_.push_back(Leg{p, p, 0, 0});
+    rngs_.emplace_back(
+        hashCombine(seed, static_cast<std::uint64_t>(rngs_.size())));
   }
 }
 
-RandomWaypoint::Leg RandomWaypoint::nextLeg(const Leg& current) {
+RandomWaypoint::Leg RandomWaypoint::nextLeg(Vertex v, const Leg& current) {
   // Alternate travel legs with pause legs when a pause is configured.
   const bool justTravelled = !(current.from == current.to);
   if (justTravelled && config_.pause > 0) {
     return Leg{current.to, current.to, current.end, current.end + config_.pause};
   }
-  const Point target{rng_.real(), rng_.real()};
-  const double speed = rng_.real(config_.speedMin, config_.speedMax);
+  Rng& rng = rngs_[v];
+  const Point target{rng.real(), rng.real()};
+  const double speed = rng.real(config_.speedMin, config_.speedMax);
+  if (!(speed > 0.0)) {
+    // Degenerate zero-speed config: dwell in place so maxSpeed() == 0
+    // stays an honest bound.
+    return Leg{current.to, current.to, current.end, current.end + kSecond};
+  }
   const double dist = graph::distance(current.to, target);
-  const double seconds = speed > 0 ? dist / speed : 0.0;
-  const auto duration =
-      std::max<SimTime>(1, static_cast<SimTime>(seconds * kSecond));
+  // Round the travel time *up*: a floor could make the realized speed
+  // (dist / duration) exceed the drawn speed, and maxSpeed() must be a hard
+  // bound for the simulator's spatial index to be exact.
+  const auto duration = std::max<SimTime>(
+      1, static_cast<SimTime>(std::ceil(dist / speed *
+                                        static_cast<double>(kSecond))));
   return Leg{current.to, target, current.end, current.end + duration};
 }
 
 void RandomWaypoint::advance(Vertex v, SimTime t) {
   Leg& leg = legs_[v];
-  while (leg.end < t) leg = nextLeg(leg);
+  while (leg.end < t) leg = nextLeg(v, leg);
 }
 
 Point RandomWaypoint::position(Vertex v, SimTime t) {

@@ -18,7 +18,11 @@ namespace selfstab::adhoc {
 
 /// Position provider. position() may be called with non-decreasing times per
 /// vertex interleaved arbitrarily across vertices; implementations advance
-/// internal trajectories lazily.
+/// internal trajectories lazily. position(v, t) must be a pure function of
+/// (v, t) — which vertices get queried, and how queries interleave across
+/// vertices, must not influence any trajectory. (The spatial-index and
+/// reference simulator paths query different vertex subsets; purity is what
+/// keeps their trajectories bit-identical.)
 class Mobility {
  public:
   Mobility() = default;
@@ -28,6 +32,11 @@ class Mobility {
 
   [[nodiscard]] virtual std::size_t order() const = 0;
   [[nodiscard]] virtual graph::Point position(graph::Vertex v, SimTime t) = 0;
+
+  /// Hard upper bound on any host's instantaneous speed (unit-square widths
+  /// per second). The spatial index uses it to bound how far a host can
+  /// drift between position refreshes.
+  [[nodiscard]] virtual double maxSpeed() const noexcept = 0;
 };
 
 /// Hosts that never move.
@@ -41,6 +50,8 @@ class StaticPlacement final : public Mobility {
   [[nodiscard]] graph::Point position(graph::Vertex v, SimTime) override {
     return points_[v];
   }
+
+  [[nodiscard]] double maxSpeed() const noexcept override { return 0.0; }
 
  private:
   std::vector<graph::Point> points_;
@@ -67,6 +78,10 @@ class RandomWaypoint final : public Mobility {
 
   [[nodiscard]] graph::Point position(graph::Vertex v, SimTime t) override;
 
+  [[nodiscard]] double maxSpeed() const noexcept override {
+    return config_.speedMax;
+  }
+
  private:
   struct Leg {
     graph::Point from;
@@ -76,11 +91,14 @@ class RandomWaypoint final : public Mobility {
   };
 
   void advance(graph::Vertex v, SimTime t);
-  Leg nextLeg(const Leg& current);
+  Leg nextLeg(graph::Vertex v, const Leg& current);
 
   std::vector<Leg> legs_;
   Config config_;
-  Rng rng_;
+  // One RNG stream per host, seeded from (seed, v): a host's waypoint
+  // sequence depends only on its own draws, making position(v, t) pure in
+  // (v, t) no matter which subset of hosts gets queried (see Mobility).
+  std::vector<Rng> rngs_;
 };
 
 }  // namespace selfstab::adhoc

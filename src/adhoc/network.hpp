@@ -14,16 +14,37 @@
 // Mobility model, so host movement creates and destroys links and the
 // protocols must re-stabilize, which is exactly the paper's fault-tolerance
 // story.
+//
+// Hot-path structure (NetworkConfig::index / ::queue pick the
+// implementation; every mode combination is bit-identical — same RNG draw
+// order, same event tie-breaking — which the differential suite in
+// tests/adhoc/test_network_differential.cpp asserts):
+//
+//  * Broadcast fan-out and collision checks consult an incrementally
+//    maintained SpatialGrid instead of scanning all n nodes. A node's cell
+//    is refreshed at its own beacon, so a recorded position is stale by at
+//    most one (jittered) beacon interval; queries widen the radius by
+//    maxSpeed x staleness to cover the drift, then apply the reference
+//    implementation's exact distance test to the candidates, sorted into
+//    ascending vertex order so the per-receiver RNG draws (loss) and
+//    delivery sequence numbers come out identical to the full scan.
+//  * Collision checks only ever need nodes that transmitted within
+//    collisionWindow, so each grid cell keeps a ring of recent
+//    transmissions (recorded at the transmitter's exact cell at
+//    transmission time, lazily pruned); the query widens by
+//    maxSpeed x collisionWindow.
+//  * The event queue is a CalendarQueue bucketed at 1/16 beacon interval.
+//  * Mobility::position is memoized per (node, event-timestamp).
 #pragma once
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 #include <variant>
 #include <vector>
 
 #include "adhoc/event_queue.hpp"
 #include "adhoc/mobility.hpp"
+#include "adhoc/sim_modes.hpp"
 #include "adhoc/sim_time.hpp"
 #include "engine/protocol.hpp"
 #include "engine/schedule.hpp"
@@ -70,6 +91,11 @@ struct NetworkConfig {
   /// (see adhoc/test_network.cpp: SMM can wedge a node into pointing at a
   /// neighbor that will never answer).
   std::vector<double> perNodeRadius;
+  /// Hot-path implementation knobs; every combination is bit-identical
+  /// (see the header comment). Scan/Heap are the reference modes the
+  /// differential suite and the scale benchmark compare against.
+  IndexMode index = IndexMode::Grid;
+  QueueMode queue = QueueMode::Calendar;
   std::uint64_t seed = 1;
 };
 
@@ -81,6 +107,22 @@ struct NetworkStats {
   std::size_t moves = 0;
   std::size_t ruleEvaluations = 0;    ///< beacon intervals that ran the rules
   std::size_t evaluationsSkipped = 0; ///< intervals suppressed (Active, clean)
+
+  friend bool operator==(const NetworkStats&, const NetworkStats&) = default;
+};
+
+/// Diagnostic counters for the spatial index and its reference scan. Unlike
+/// NetworkStats these are *mode-dependent by design* — the grid exists to
+/// shrink rangeChecks — so equivalence suites must not compare them across
+/// IndexMode values. The scale benchmark's >= 20x reduction gate reads them.
+struct IndexStats {
+  std::size_t rangeChecks = 0;         ///< exact distance tests executed
+  std::size_t gridQueries = 0;         ///< broadcast gathers (Grid mode)
+  std::size_t broadcastCandidates = 0; ///< candidates those gathers returned
+  std::size_t collisionChecks = 0;     ///< collidesAt invocations
+  std::size_t collisionCandidates = 0; ///< in-window transmitters tested
+
+  friend bool operator==(const IndexStats&, const IndexStats&) = default;
 };
 
 struct QuietResult {
@@ -98,11 +140,44 @@ class NetworkSimulator {
       : protocol_(&protocol),
         ids_(&ids),
         mobility_(&mobility),
-        config_(config),
-        rng_(config.seed),
+        config_(std::move(config)),
+        rng_(config_.seed),
         nodes_(mobility.order()),
-        lastTx_(mobility.order(), -1) {
+        lastTx_(mobility.order(), -1),
+        queue_(config_.queue == QueueMode::Calendar
+                   ? std::max<SimTime>(1, config_.beaconInterval / 16)
+                   : 0),
+        posStamp_(mobility.order(), -1),
+        posPoint_(mobility.order()) {
     assert(ids.order() == mobility.order());
+    maxRadius_ = config_.radius;
+    if (!config_.perNodeRadius.empty()) {
+      maxRadius_ = *std::max_element(config_.perNodeRadius.begin(),
+                                     config_.perNodeRadius.end());
+    }
+    // A recorded position lags reality by at most one jittered beacon
+    // interval (a node re-places itself at every beacon; the construction
+    // placement below covers the first interval, whose phase is < one
+    // interval). Collision candidates lag by at most collisionWindow. The
+    // epsilon absorbs the interpolation arithmetic of Mobility::position.
+    constexpr double kSlack = 1e-9;
+    const double secondsPerInterval = static_cast<double>(
+                                          config_.beaconInterval) /
+                                      static_cast<double>(kSecond);
+    broadcastSlack_ = mobility.maxSpeed() * (1.0 + config_.jitterFraction) *
+                          secondsPerInterval +
+                      kSlack;
+    collisionSlack_ = mobility.maxSpeed() *
+                          (static_cast<double>(config_.collisionWindow) /
+                           static_cast<double>(kSecond)) +
+                      kSlack;
+    if (config_.index == IndexMode::Grid) {
+      grid_ = graph::SpatialGrid(nodes_.size(), maxRadius_);
+      if (config_.collisionWindow > 0) txRings_.resize(grid_.cellCount());
+      for (graph::Vertex v = 0; v < nodes_.size(); ++v) {
+        grid_.place(v, positionAt(v, 0));
+      }
+    }
     for (graph::Vertex v = 0; v < nodes_.size(); ++v) {
       nodes_[v].state = protocol.initialState(v);
       // Desynchronized start: first beacon at a random phase of one interval.
@@ -115,9 +190,11 @@ class NetworkSimulator {
 
   /// Attaches metric/event sinks (either may be null; pass nulls to
   /// detach). Counters shadow NetworkStats increment-for-increment, so a
-  /// registry dump always agrees with stats() exactly. The event log
-  /// receives "move", "neighbor_expired", and "reboot" records keyed by
-  /// simulated time — never wall clock — so logs stay reproducible.
+  /// registry dump always agrees with stats() exactly; the index/queue
+  /// diagnostics shadow IndexStats the same way (and are mode-dependent,
+  /// see IndexStats). The event log receives "move", "neighbor_expired",
+  /// and "reboot" records keyed by simulated time — never wall clock — so
+  /// logs stay reproducible.
   void attachTelemetry(telemetry::Registry* registry,
                        telemetry::EventLog* events = nullptr) {
     events_ = events;
@@ -135,8 +212,17 @@ class NetworkSimulator {
         &registry->counter(names::kNeighborExpirations);
     metrics_.ruleEvaluations = &registry->counter(names::kActiveNodes);
     metrics_.evaluationsSkipped = &registry->counter(names::kSkippedNodes);
+    metrics_.rangeChecks = &registry->counter(names::kRangeChecks);
     metrics_.cacheSize = &registry->histogram(names::kNeighborCacheSize,
                                               telemetry::sizeBuckets());
+    metrics_.gridOccupancy = &registry->histogram(names::kGridOccupancy,
+                                                  telemetry::sizeBuckets());
+    metrics_.broadcastCandidates = &registry->histogram(
+        names::kBroadcastCandidates, telemetry::sizeBuckets());
+    metrics_.collisionCandidates = &registry->histogram(
+        names::kCollisionCandidates, telemetry::sizeBuckets());
+    metrics_.queueDepth = &registry->histogram(names::kEventQueueDepth,
+                                               telemetry::depthBuckets());
     // A node's beacon-interval work (expiry sweep, rule evaluation,
     // broadcast) is its share of one paper-round; that is the latency this
     // histogram tracks in the beacon model.
@@ -205,13 +291,34 @@ class NetworkSimulator {
   /// (with uniform ranges this is the plain unit-disk graph). Asymmetric
   /// one-way reachability is, by the paper's model, not a link.
   [[nodiscard]] graph::Graph currentTopology() {
+    const SimTime now = queue_.now();
     std::vector<graph::Point> pts(nodes_.size());
     for (graph::Vertex v = 0; v < nodes_.size(); ++v) {
-      pts[v] = mobility_->position(v, queue_.now());
+      pts[v] = positionAt(v, now);
     }
     graph::Graph g(nodes_.size());
+    if (config_.index == IndexMode::Scan || nodes_.size() < 256) {
+      for (graph::Vertex u = 0; u < nodes_.size(); ++u) {
+        for (graph::Vertex v = u + 1; v < nodes_.size(); ++v) {
+          const double reach = std::min(radiusOf(u), radiusOf(v));
+          if (graph::squaredDistance(pts[u], pts[v]) <= reach * reach) {
+            g.addEdge(u, v);
+          }
+        }
+      }
+      return g;
+    }
+    // A fresh exact-position grid (the incremental one lags by a beacon
+    // interval). Graph stores sorted adjacency and compares structurally,
+    // so the cell-driven discovery order is unobservable.
+    graph::SpatialGrid snap(nodes_.size(), maxRadius_);
+    for (graph::Vertex v = 0; v < nodes_.size(); ++v) snap.place(v, pts[v]);
+    std::vector<graph::Vertex> near;
     for (graph::Vertex u = 0; u < nodes_.size(); ++u) {
-      for (graph::Vertex v = u + 1; v < nodes_.size(); ++v) {
+      near.clear();
+      snap.gather(pts[u], maxRadius_, near);
+      for (const graph::Vertex v : near) {
+        if (v <= u) continue;
         const double reach = std::min(radiusOf(u), radiusOf(v));
         if (graph::squaredDistance(pts[u], pts[v]) <= reach * reach) {
           g.addEdge(u, v);
@@ -222,6 +329,9 @@ class NetworkSimulator {
   }
 
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const IndexStats& indexStats() const noexcept {
+    return indexStats_;
+  }
   [[nodiscard]] SimTime now() const noexcept { return queue_.now(); }
   [[nodiscard]] SimTime lastMoveTime() const noexcept { return lastMove_; }
 
@@ -243,26 +353,34 @@ class NetworkSimulator {
   using Event = std::variant<BeaconTimer, Delivery>;
 
   struct CacheEntry {
-    State state{};
-    SimTime heardAt = 0;
+    graph::Vertex from;
+    SimTime heardAt;
+    State state;
   };
 
   struct Node {
     State state{};
     // Sorted by sender vertex so LocalViews enumerate neighbors in
-    // increasing vertex order, matching the abstract engine.
-    std::map<graph::Vertex, CacheEntry> cache;
+    // increasing vertex order, matching the abstract engine. Flat storage:
+    // one allocation, contiguous iteration for the expiry sweep and the
+    // view build.
+    std::vector<CacheEntry> cache;
     // Active schedule: true iff the node's view (own state, cache
     // membership, or a cached neighbor state) changed since its last rule
     // evaluation. Starts dirty so every node evaluates at least once.
     bool dirty = true;
   };
 
+  struct TxRecord {
+    SimTime at;
+    graph::Vertex node;
+  };
+
   void dispatch(Event event) {
     if (auto* timer = std::get_if<BeaconTimer>(&event)) {
       onBeaconTimer(timer->node);
     } else {
-      onDelivery(std::get<Delivery>(event));
+      onDelivery(std::get<Delivery>(std::move(event)));
     }
   }
 
@@ -271,24 +389,31 @@ class NetworkSimulator {
     const SimTime now = queue_.now();
     Node& node = nodes_[v];
 
-    // Neighbor discovery: expire links whose beacons stopped arriving.
+    // Neighbor discovery: expire links whose beacons stopped arriving. The
+    // cache compacts in place; entries stay sorted by sender, so expiry
+    // events fire in ascending neighbor order.
     const auto timeout = static_cast<SimTime>(
         config_.timeoutFactor * static_cast<double>(config_.beaconInterval));
-    for (auto it = node.cache.begin(); it != node.cache.end();) {
-      if (now - it->second.heardAt > timeout) {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < node.cache.size(); ++i) {
+      CacheEntry& entry = node.cache[i];
+      if (now - entry.heardAt > timeout) {
         if (metrics_.neighborExpirations != nullptr) {
           metrics_.neighborExpirations->inc();
         }
         if (events_ != nullptr) {
-          events_->emit("neighbor_expired",
-                        {{"t_us", now}, {"node", v}, {"neighbor", it->first}});
+          events_->emit(
+              "neighbor_expired",
+              {{"t_us", now}, {"node", v}, {"neighbor", entry.from}});
         }
-        it = node.cache.erase(it);
         node.dirty = true;  // view shrank: re-evaluate
       } else {
-        ++it;
+        if (keep != i) node.cache[keep] = std::move(entry);
+        ++keep;
       }
     }
+    node.cache.erase(node.cache.begin() + static_cast<std::ptrdiff_t>(keep),
+                     node.cache.end());
     if (metrics_.cacheSize != nullptr) {
       metrics_.cacheSize->observe(static_cast<double>(node.cache.size()));
     }
@@ -305,9 +430,9 @@ class NetworkSimulator {
       if (metrics_.ruleEvaluations != nullptr) metrics_.ruleEvaluations->inc();
       node.dirty = false;
       neighborBuffer_.clear();
-      for (const auto& [from, entry] : node.cache) {
-        neighborBuffer_.push_back(
-            engine::NeighborRef<State>{from, ids_->idOf(from), &entry.state});
+      for (const CacheEntry& entry : node.cache) {
+        neighborBuffer_.push_back(engine::NeighborRef<State>{
+            entry.from, ids_->idOf(entry.from), &entry.state});
       }
       engine::LocalView<State> view;
       view.self = v;
@@ -336,26 +461,56 @@ class NetworkSimulator {
 
     // Broadcast the (possibly updated) state to everyone in the *sender's*
     // transmit range (reception is governed by the transmitter's power).
-    const graph::Point me = mobility_->position(v, now);
+    // Both index modes run the same per-receiver pipeline — exact distance
+    // test, loss draw, collision check, delivery — over ascending receiver
+    // vertices, so RNG draws and event sequence numbers are identical; the
+    // grid merely prunes receivers that cannot possibly be in range.
+    const graph::Point me = positionAt(v, now);
     const double r2 = radiusOf(v) * radiusOf(v);
-    for (graph::Vertex u = 0; u < nodes_.size(); ++u) {
-      if (u == v) continue;
-      const graph::Point other = mobility_->position(u, now);
-      if (graph::squaredDistance(me, other) > r2) continue;
+    const auto offerBeacon = [&](graph::Vertex u) {
+      if (u == v) return;
+      const graph::Point other = positionAt(u, now);
+      ++indexStats_.rangeChecks;
+      if (metrics_.rangeChecks != nullptr) metrics_.rangeChecks->inc();
+      if (graph::squaredDistance(me, other) > r2) return;
       if (rng_.chance(config_.lossProbability)) {
         ++stats_.beaconsLost;
         if (metrics_.beaconsLost != nullptr) metrics_.beaconsLost->inc();
-        continue;
+        return;
       }
       if (config_.collisionWindow > 0 && collidesAt(u, v, other, now)) {
         ++stats_.beaconsCollided;
         if (metrics_.beaconsCollided != nullptr) {
           metrics_.beaconsCollided->inc();
         }
-        continue;
+        return;
       }
       queue_.schedule(now + config_.propagationDelay,
                       Event{Delivery{u, v, node.state}});
+    };
+    if (config_.index == IndexMode::Grid) {
+      grid_.place(v, me);
+      candidates_.clear();
+      grid_.gather(me, radiusOf(v) + broadcastSlack_, candidates_);
+      std::sort(candidates_.begin(), candidates_.end());
+      ++indexStats_.gridQueries;
+      indexStats_.broadcastCandidates += candidates_.size();
+      if (metrics_.broadcastCandidates != nullptr) {
+        metrics_.broadcastCandidates->observe(
+            static_cast<double>(candidates_.size()));
+      }
+      if (metrics_.gridOccupancy != nullptr) {
+        metrics_.gridOccupancy->observe(static_cast<double>(
+            grid_.cellMembers(grid_.cellOf(me)).size()));
+      }
+      for (const graph::Vertex u : candidates_) offerBeacon(u);
+    } else {
+      for (graph::Vertex u = 0; u < nodes_.size(); ++u) offerBeacon(u);
+    }
+    if (config_.index == IndexMode::Grid && config_.collisionWindow > 0) {
+      auto& ring = txRings_[grid_.cellOf(me)];
+      pruneRing(ring, now);
+      ring.push_back(TxRecord{now, v});
     }
     lastTx_[v] = now;
     ++stats_.beaconsSent;
@@ -368,19 +523,28 @@ class NetworkSimulator {
         1, static_cast<SimTime>(
                (1.0 + jitter) * static_cast<double>(config_.beaconInterval)));
     queue_.schedule(now + interval, Event{BeaconTimer{v}});
+    if (metrics_.queueDepth != nullptr) {
+      metrics_.queueDepth->observe(static_cast<double>(queue_.size()));
+    }
   }
 
-  void onDelivery(const Delivery& d) {
+  void onDelivery(Delivery&& d) {
     Node& node = nodes_[d.to];
-    const auto [it, inserted] =
-        node.cache.try_emplace(d.from, CacheEntry{d.payload, queue_.now()});
-    if (inserted) {
+    const SimTime now = queue_.now();
+    const auto it = std::lower_bound(
+        node.cache.begin(), node.cache.end(), d.from,
+        [](const CacheEntry& e, graph::Vertex from) { return e.from < from; });
+    if (it == node.cache.end() || it->from != d.from) {
+      node.cache.insert(it, CacheEntry{d.from, now, std::move(d.payload)});
       node.dirty = true;  // new neighbor appeared in the view
     } else {
-      // Refreshed heardAt alone does not dirty the view; a changed payload
-      // does.
-      if (!(it->second.state == d.payload)) node.dirty = true;
-      it->second = CacheEntry{d.payload, queue_.now()};
+      // Refresh heardAt in place; a changed payload moves in and dirties
+      // the view, an unchanged one costs no copy at all.
+      if (!(it->state == d.payload)) {
+        it->state = std::move(d.payload);
+        node.dirty = true;
+      }
+      it->heardAt = now;
     }
     ++stats_.beaconsDelivered;
     if (metrics_.beaconsDelivered != nullptr) {
@@ -392,20 +556,76 @@ class NetworkSimulator {
   /// receiver at `receiverPos`: lost if any third node in the receiver's
   /// range transmitted within the collision window. (Half-duplex model:
   /// only transmissions *before* the current one are checked; the jittered
-  /// schedule breaks symmetric persistent collisions.)
+  /// schedule breaks symmetric persistent collisions.) Grid mode walks only
+  /// the per-cell recent-transmitter rings around the receiver: an
+  /// in-window transmitter recorded its last transmission at its exact cell
+  /// at that moment, so widening the query disk by collisionSlack_ covers
+  /// any drift since. Duplicate ring entries (a node beaconing twice inside
+  /// the window) merely repeat the same existence test.
   [[nodiscard]] bool collidesAt(graph::Vertex receiver, graph::Vertex sender,
                                 const graph::Point& receiverPos,
                                 SimTime now) {
-    for (graph::Vertex k = 0; k < nodes_.size(); ++k) {
-      if (k == sender || k == receiver) continue;
+    ++indexStats_.collisionChecks;
+    bool hit = false;
+    std::size_t candidates = 0;
+    const auto testTransmitter = [&](graph::Vertex k) {
+      if (k == sender || k == receiver) return;
       if (lastTx_[k] < 0 || now - lastTx_[k] > config_.collisionWindow) {
-        continue;
+        return;
       }
-      const graph::Point kp = mobility_->position(k, now);
+      ++candidates;
+      ++indexStats_.rangeChecks;
+      if (metrics_.rangeChecks != nullptr) metrics_.rangeChecks->inc();
+      const graph::Point kp = positionAt(k, now);
       const double rk = radiusOf(k);
-      if (graph::squaredDistance(kp, receiverPos) <= rk * rk) return true;
+      if (graph::squaredDistance(kp, receiverPos) <= rk * rk) hit = true;
+    };
+    if (config_.index == IndexMode::Grid) {
+      grid_.forEachCellIntersecting(
+          receiverPos, maxRadius_ + collisionSlack_, [&](std::size_t cell) {
+            if (hit) return;
+            auto& ring = txRings_[cell];
+            pruneRing(ring, now);
+            for (const TxRecord& rec : ring) {
+              testTransmitter(rec.node);
+              if (hit) return;
+            }
+          });
+    } else {
+      for (graph::Vertex k = 0; k < nodes_.size() && !hit; ++k) {
+        testTransmitter(k);
+      }
     }
-    return false;
+    indexStats_.collisionCandidates += candidates;
+    if (metrics_.collisionCandidates != nullptr) {
+      metrics_.collisionCandidates->observe(static_cast<double>(candidates));
+    }
+    return hit;
+  }
+
+  /// Drops the stale prefix of a cell's transmitter ring (entries are
+  /// appended in transmission order, so stale ones are contiguous).
+  void pruneRing(std::vector<TxRecord>& ring, SimTime now) {
+    std::size_t drop = 0;
+    while (drop < ring.size() &&
+           now - ring[drop].at > config_.collisionWindow) {
+      ++drop;
+    }
+    if (drop > 0) {
+      ring.erase(ring.begin(), ring.begin() + static_cast<std::ptrdiff_t>(drop));
+    }
+  }
+
+  /// Mobility::position memoized per (node, event timestamp): one beacon
+  /// touches a receiver several times (broadcast test + collision checks),
+  /// and position(v, t) is pure in (v, t), so a same-timestamp replay is
+  /// free.
+  [[nodiscard]] graph::Point positionAt(graph::Vertex v, SimTime t) {
+    if (posStamp_[v] == t) return posPoint_[v];
+    const graph::Point p = mobility_->position(v, t);
+    posStamp_[v] = t;
+    posPoint_[v] = p;
+    return p;
   }
 
   [[nodiscard]] double radiusOf(graph::Vertex v) const noexcept {
@@ -424,7 +644,12 @@ class NetworkSimulator {
     telemetry::Counter* neighborExpirations = nullptr;
     telemetry::Counter* ruleEvaluations = nullptr;
     telemetry::Counter* evaluationsSkipped = nullptr;
+    telemetry::Counter* rangeChecks = nullptr;
     telemetry::Histogram* cacheSize = nullptr;
+    telemetry::Histogram* gridOccupancy = nullptr;
+    telemetry::Histogram* broadcastCandidates = nullptr;
+    telemetry::Histogram* collisionCandidates = nullptr;
+    telemetry::Histogram* queueDepth = nullptr;
     telemetry::Histogram* roundDuration = nullptr;
   };
 
@@ -435,8 +660,17 @@ class NetworkSimulator {
   Rng rng_;
   std::vector<Node> nodes_;
   std::vector<SimTime> lastTx_;
-  EventQueue<Event> queue_;
+  CalendarQueue<Event> queue_;
+  std::vector<SimTime> posStamp_;      ///< timestamp posPoint_[v] is valid for
+  std::vector<graph::Point> posPoint_;
+  graph::SpatialGrid grid_;
+  std::vector<std::vector<TxRecord>> txRings_;  ///< per grid cell
+  std::vector<graph::Vertex> candidates_;       ///< reused gather buffer
+  double maxRadius_ = 0.0;
+  double broadcastSlack_ = 0.0;
+  double collisionSlack_ = 0.0;
   NetworkStats stats_;
+  IndexStats indexStats_;
   Metrics metrics_;
   telemetry::EventLog* events_ = nullptr;
   SimTime lastMove_ = 0;

@@ -1,0 +1,30 @@
+// Runtime-selectable implementations of the beacon simulator's hot paths.
+//
+// Both knobs choose *how* an interval is computed, never *what* it computes:
+// every combination produces bit-identical trajectories, stats, and event
+// logs (asserted by tests/adhoc/test_network_differential.cpp). The
+// reference modes exist so the fast paths stay falsifiable.
+#pragma once
+
+namespace selfstab::adhoc {
+
+/// How broadcast fan-out and collision checks find nearby nodes.
+enum class IndexMode {
+  /// Incrementally-maintained spatial grid + per-cell recent-transmitter
+  /// rings: one beacon costs O(deg) instead of O(n).
+  Grid,
+  /// Reference full scan over all n nodes (the pre-index implementation).
+  Scan,
+};
+
+/// Event queue backing the discrete-event loop.
+enum class QueueMode {
+  /// Calendar queue bucketed at a fraction of the beacon interval: O(1)
+  /// amortized schedule/pop for the near-periodic beacon workload, with a
+  /// heap fallback for far-future events.
+  Calendar,
+  /// Reference binary heap.
+  Heap,
+};
+
+}  // namespace selfstab::adhoc

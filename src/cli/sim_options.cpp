@@ -103,6 +103,24 @@ SimOptions parseSimOptions(const std::vector<std::string>& args) {
       } else {
         fail("unknown schedule '" + value + "'");
       }
+    } else if (arg == "--index") {
+      const std::string value = next(i, arg);
+      if (value == "grid") {
+        options.index = adhoc::IndexMode::Grid;
+      } else if (value == "scan") {
+        options.index = adhoc::IndexMode::Scan;
+      } else {
+        fail("unknown index '" + value + "'");
+      }
+    } else if (arg == "--queue") {
+      const std::string value = next(i, arg);
+      if (value == "calendar") {
+        options.queue = adhoc::QueueMode::Calendar;
+      } else if (value == "heap") {
+        options.queue = adhoc::QueueMode::Heap;
+      } else {
+        fail("unknown queue '" + value + "'");
+      }
     } else if (arg == "--mobility") {
       const std::string value = next(i, arg);
       if (value == "static") {
@@ -155,6 +173,11 @@ usage: selfstab-sim [options]
   --timeout-factor neighbor expiry in beacon intervals   [default: 2.5]
   --schedule       dense | active (skip rule evaluation
                    on nodes whose view is unchanged)     [default: dense]
+  --index          grid | scan spatial index for radio
+                   fan-out (bit-identical results; scan
+                   is the O(n^2) reference)              [default: grid]
+  --queue          calendar | heap event queue
+                   (bit-identical results)               [default: calendar]
   --mobility       static | waypoint                     [default: static]
   --speed          waypoint speed range MIN:MAX          [default: 0.01:0.04]
   --stop-sec       freeze waypoint motion at this time   [default: never]

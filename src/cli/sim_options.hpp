@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "adhoc/sim_modes.hpp"
 #include "adhoc/sim_time.hpp"
 #include "cli/options.hpp"  // CliError
 
@@ -26,6 +27,8 @@ struct SimOptions {
   adhoc::SimTime collisionWindow = 0;
   double timeoutFactor = 2.5;
   engine::Schedule schedule = engine::Schedule::Dense;  ///< --schedule
+  adhoc::IndexMode index = adhoc::IndexMode::Grid;      ///< --index
+  adhoc::QueueMode queue = adhoc::QueueMode::Calendar;  ///< --queue
 
   MobilityKind mobility = MobilityKind::Static;
   double speedMin = 0.01;

@@ -43,6 +43,8 @@ adhoc::NetworkConfig makeConfig(const SimOptions& options) {
   config.timeoutFactor = options.timeoutFactor;
   config.schedule = options.schedule;
   config.radius = options.radius;
+  config.index = options.index;
+  config.queue = options.queue;
   config.seed = options.seed;
   return config;
 }
@@ -105,6 +107,7 @@ SimReport driveSim(const SimOptions& options, telemetry::Registry* registry,
   report.ruleEvaluations = stats.ruleEvaluations;
   report.evaluationsSkipped = stats.evaluationsSkipped;
   report.rounds = static_cast<std::size_t>(sim.now() / options.beaconInterval);
+  report.rangeChecks = sim.indexStats().rangeChecks;
   if (registry != nullptr) {
     // The paper counts rounds as whole beacon intervals; finalize the
     // counter here so it equals SimReport::rounds exactly.
@@ -220,6 +223,7 @@ void printSimReportJson(const SimReport& report, std::ostream& out) {
       .value(static_cast<std::uint64_t>(report.ruleEvaluations));
   w.key("evaluationsSkipped")
       .value(static_cast<std::uint64_t>(report.evaluationsSkipped));
+  w.key("rangeChecks").value(static_cast<std::uint64_t>(report.rangeChecks));
   w.key("summary").value(report.summary);
   w.endObject();
   out << '\n';
@@ -240,6 +244,7 @@ void printSimReport(const SimReport& report, std::ostream& out) {
       << "evaluations : " << report.ruleEvaluations << " run, "
       << report.evaluationsSkipped << " skipped\n"
       << "rounds      : " << report.rounds << '\n'
+      << "range checks: " << report.rangeChecks << '\n'
       << "result      : " << report.summary << '\n'
       << "verified    : " << (report.predicateOk ? "yes" : "NO") << '\n';
 }

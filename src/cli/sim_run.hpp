@@ -22,6 +22,7 @@ struct SimReport {
   std::size_t ruleEvaluations = 0;     ///< beacon intervals that ran the rules
   std::size_t evaluationsSkipped = 0;  ///< suppressed by --schedule active
   std::size_t rounds = 0;  ///< whole beacon intervals elapsed (paper rounds)
+  std::size_t rangeChecks = 0;  ///< exact distance tests (index diagnostic)
   std::string summary;
 };
 

@@ -1,5 +1,8 @@
 #include "graph/geometry.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace selfstab::graph {
 
 std::vector<Point> randomPoints(std::size_t n, Rng& rng) {
@@ -82,6 +85,49 @@ Graph unitDiskGraph(const std::vector<Point>& points, double radius) {
     }
   }
   return g;
+}
+
+SpatialGrid::SpatialGrid(std::size_t order, double cellWidth) {
+  // floor(1/width) keeps cells at least cellWidth wide; the sqrt(order) cap
+  // keeps the cell count O(order) when the width is tiny relative to the
+  // point density (gather() walks rectangles, so a cell narrower than the
+  // query radius costs extra cells, never correctness).
+  const auto cap = static_cast<std::size_t>(std::ceil(
+      std::sqrt(static_cast<double>(std::max<std::size_t>(order, 1)))));
+  std::size_t side = cap;
+  if (cellWidth > 0.0) {
+    side = std::min(side, static_cast<std::size_t>(
+                              std::max(1.0, 1.0 / cellWidth)));
+  }
+  side_ = std::max<std::size_t>(side, 1);
+  scale_ = static_cast<double>(side_);
+  cells_.resize(side_ * side_);
+  where_.resize(order);
+}
+
+void SpatialGrid::place(Vertex v, const Point& p) {
+  const auto cell = static_cast<std::uint32_t>(cellOf(p));
+  Slot& slot = where_[v];
+  if (slot.cell == cell) return;
+  if (slot.cell != kNowhere) {
+    auto& old = cells_[slot.cell];
+    const Vertex moved = old.back();
+    old[slot.index] = moved;
+    where_[moved].index = slot.index;
+    old.pop_back();
+  }
+  auto& dst = cells_[cell];
+  slot.cell = cell;
+  slot.index = static_cast<std::uint32_t>(dst.size());
+  dst.push_back(v);
+}
+
+void SpatialGrid::gather(const Point& center, double radius,
+                         std::vector<Vertex>& out) const {
+  forEachCellIntersecting(center, radius, [&](std::size_t cell) {
+    const auto& members = cells_[cell];
+    out.insert(out.end(), members.begin(), members.end());
+  });
 }
 
 }  // namespace selfstab::graph

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -33,5 +34,80 @@ std::vector<Point> randomPoints(std::size_t n, Rng& rng);
 /// points are within `radius` of each other. This is the standard model of
 /// radio connectivity in an ad hoc network.
 Graph unitDiskGraph(const std::vector<Point>& points, double radius);
+
+/// Incrementally-maintained uniform grid over up to `order` moving points in
+/// the unit square. place() inserts a vertex or moves it between cells in
+/// O(1); gather() enumerates every vertex whose *recorded* cell intersects
+/// the bounding square of a query disk — a superset of the vertices actually
+/// inside it, so callers apply their own exact distance test. Coordinates
+/// outside [0,1) clamp into the border cells, so slightly-out-of-square
+/// queries and points are safe.
+///
+/// Cells are at least `cellWidth` wide (so a disk of that radius overlaps at
+/// most a 3x3 block), but the grid caps itself at ~order cells so a tiny
+/// radius cannot blow up memory; correctness never depends on the width —
+/// gather() walks however many cells the query rectangle covers.
+class SpatialGrid {
+ public:
+  SpatialGrid() = default;
+  SpatialGrid(std::size_t order, double cellWidth);
+
+  [[nodiscard]] std::size_t side() const noexcept { return side_; }
+  [[nodiscard]] std::size_t cellCount() const noexcept {
+    return side_ * side_;
+  }
+
+  [[nodiscard]] std::size_t cellOf(const Point& p) const noexcept {
+    return axisCell(p.y) * side_ + axisCell(p.x);
+  }
+
+  /// Inserts v at p, or moves it there (swap-pop from its previous cell).
+  void place(Vertex v, const Point& p);
+
+  /// Vertices currently recorded in one cell, in insertion order.
+  [[nodiscard]] const std::vector<Vertex>& cellMembers(
+      std::size_t cell) const noexcept {
+    return cells_[cell];
+  }
+
+  /// Invokes fn(cell) for every cell intersecting the bounding square of
+  /// the disk (center, radius).
+  template <typename Fn>
+  void forEachCellIntersecting(const Point& center, double radius,
+                               Fn&& fn) const {
+    const std::size_t x0 = axisCell(center.x - radius);
+    const std::size_t x1 = axisCell(center.x + radius);
+    const std::size_t y0 = axisCell(center.y - radius);
+    const std::size_t y1 = axisCell(center.y + radius);
+    for (std::size_t cy = y0; cy <= y1; ++cy) {
+      for (std::size_t cx = x0; cx <= x1; ++cx) {
+        fn(cy * side_ + cx);
+      }
+    }
+  }
+
+  /// Appends every vertex recorded in a cell touching the disk's bounding
+  /// square to `out` (no clear, no ordering guarantee).
+  void gather(const Point& center, double radius,
+              std::vector<Vertex>& out) const;
+
+ private:
+  [[nodiscard]] std::size_t axisCell(double coord) const noexcept {
+    if (coord <= 0.0) return 0;
+    const auto c = static_cast<std::size_t>(coord * scale_);
+    return c < side_ ? c : side_ - 1;
+  }
+
+  static constexpr std::uint32_t kNowhere = 0xffffffffu;
+  struct Slot {
+    std::uint32_t cell = kNowhere;
+    std::uint32_t index = 0;  ///< position inside cells_[cell]
+  };
+
+  std::size_t side_ = 1;
+  double scale_ = 1.0;  ///< == side_, cached for the coordinate scaling
+  std::vector<std::vector<Vertex>> cells_;
+  std::vector<Slot> where_;
+};
 
 }  // namespace selfstab::graph

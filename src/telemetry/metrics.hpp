@@ -124,6 +124,15 @@ class Histogram {
   return {0, 1, 2, 4, 8, 16, 32, 64, 128, 256};
 }
 
+/// Default buckets for large cardinalities (event-queue depth, which grows
+/// with the node count): powers of 4 so million-node simulations still
+/// resolve instead of piling into +Inf.
+[[nodiscard]] inline std::vector<double> depthBuckets() {
+  std::vector<double> bounds{0};
+  for (double b = 1; b <= 16'777'216.0; b *= 4.0) bounds.push_back(b);
+  return bounds;
+}
+
 /// Default buckets for fractions in [0, 1] (per-round activation fraction).
 /// Log-spaced toward 0 because near-converged rounds activate a vanishing
 /// share of nodes — exactly the regime the active-set scheduler targets.

@@ -43,4 +43,14 @@ inline constexpr const char* kNeighborExpirations =
     "neighbor_expirations_total";
 inline constexpr const char* kNeighborCacheSize = "neighbor_cache_size";
 
+// Spatial-index / event-queue diagnostics (adhoc::NetworkSimulator). These
+// shadow IndexStats, not NetworkStats: they are *mode-dependent* by design
+// (the grid index exists to shrink them), so differential suites must not
+// compare them across IndexMode/QueueMode.
+inline constexpr const char* kRangeChecks = "range_checks_total";
+inline constexpr const char* kGridOccupancy = "grid_cell_occupancy";
+inline constexpr const char* kBroadcastCandidates = "broadcast_candidates";
+inline constexpr const char* kCollisionCandidates = "collision_candidates";
+inline constexpr const char* kEventQueueDepth = "event_queue_depth";
+
 }  // namespace selfstab::telemetry::names

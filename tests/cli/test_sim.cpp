@@ -54,6 +54,46 @@ TEST(ParseSimOptions, Schedule) {
   EXPECT_THROW((void)parseSimOptions({"--schedule", "eager"}), CliError);
 }
 
+TEST(ParseSimOptions, IndexAndQueueModes) {
+  EXPECT_EQ(parseSimOptions({}).index, adhoc::IndexMode::Grid);
+  EXPECT_EQ(parseSimOptions({}).queue, adhoc::QueueMode::Calendar);
+  EXPECT_EQ(parseSimOptions({"--index", "scan"}).index, adhoc::IndexMode::Scan);
+  EXPECT_EQ(parseSimOptions({"--index", "grid"}).index, adhoc::IndexMode::Grid);
+  EXPECT_EQ(parseSimOptions({"--queue", "heap"}).queue, adhoc::QueueMode::Heap);
+  EXPECT_EQ(parseSimOptions({"--queue", "calendar"}).queue,
+            adhoc::QueueMode::Calendar);
+  EXPECT_THROW((void)parseSimOptions({"--index", "tree"}), CliError);
+  EXPECT_THROW((void)parseSimOptions({"--queue", "list"}), CliError);
+}
+
+TEST(ExecuteSim, ReferenceModesMatchFastModes) {
+  SimOptions fast;
+  fast.nodes = 15;
+  fast.seed = 3;
+  fast.duration = 120 * adhoc::kSecond;
+  fast.collisionWindow = 2000;
+  fast.mobility = MobilityKind::Waypoint;
+  fast.stopTime = 30 * adhoc::kSecond;
+  SimOptions reference = fast;
+  reference.index = adhoc::IndexMode::Scan;
+  reference.queue = adhoc::QueueMode::Heap;
+
+  std::ostringstream fastOut;
+  std::ostringstream referenceOut;
+  const SimReport fastReport = executeSim(fast, fastOut);
+  const SimReport referenceReport = executeSim(reference, referenceOut);
+
+  // Identical trajectories: every stat and the rendered timeline agree.
+  EXPECT_EQ(fastReport.summary, referenceReport.summary);
+  EXPECT_EQ(fastReport.endTime, referenceReport.endTime);
+  EXPECT_EQ(fastReport.beaconsSent, referenceReport.beaconsSent);
+  EXPECT_EQ(fastReport.beaconsDelivered, referenceReport.beaconsDelivered);
+  EXPECT_EQ(fastReport.beaconsLost, referenceReport.beaconsLost);
+  EXPECT_EQ(fastReport.beaconsCollided, referenceReport.beaconsCollided);
+  EXPECT_EQ(fastReport.moves, referenceReport.moves);
+  EXPECT_EQ(fastOut.str(), referenceOut.str());
+}
+
 TEST(ParseSimOptions, Rejections) {
   EXPECT_THROW((void)parseSimOptions({"-p", "bogus"}), CliError);
   EXPECT_THROW((void)parseSimOptions({"-n", "0"}), CliError);
@@ -232,6 +272,7 @@ TEST(PrintSimReportJson, EmitsOneParsableObject) {
   report.moves = 31;
   report.ruleEvaluations = 1740;
   report.evaluationsSkipped = 10;
+  report.rangeChecks = 42000;
   report.summary = "matching: 12 pair(s)";
   std::ostringstream out;
   printSimReportJson(report, out);
@@ -242,6 +283,7 @@ TEST(PrintSimReportJson, EmitsOneParsableObject) {
             "\"beaconsSent\":1750,\"beaconsDelivered\":6902,"
             "\"beaconsLost\":0,\"beaconsCollided\":0,\"moves\":31,"
             "\"ruleEvaluations\":1740,\"evaluationsSkipped\":10,"
+            "\"rangeChecks\":42000,"
             "\"summary\":\"matching: 12 pair(s)\"}\n");
 }
 

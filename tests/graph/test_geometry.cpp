@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 namespace selfstab::graph {
 namespace {
 
@@ -42,6 +45,67 @@ TEST(Geometry, FullRadiusGivesCompleteGraph) {
   const auto pts = randomPoints(20, rng);
   const Graph g = unitDiskGraph(pts, 2.0);  // > diagonal of unit square
   EXPECT_EQ(g.size(), 20u * 19u / 2);
+}
+
+TEST(SpatialGrid, GatherIsASupersetOfTheDisk) {
+  Rng rng(7);
+  const auto pts = randomPoints(500, rng);
+  SpatialGrid grid(pts.size(), 0.1);
+  for (Vertex v = 0; v < pts.size(); ++v) grid.place(v, pts[v]);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point center{rng.real(), rng.real()};
+    const double radius = rng.real(0.0, 0.3);
+    std::vector<Vertex> got;
+    grid.gather(center, radius, got);
+    std::sort(got.begin(), got.end());
+    // No duplicates: each vertex is recorded in exactly one cell.
+    EXPECT_TRUE(std::adjacent_find(got.begin(), got.end()) == got.end());
+    // Every vertex actually inside the disk must be among the candidates.
+    for (Vertex v = 0; v < pts.size(); ++v) {
+      if (squaredDistance(pts[v], center) <= radius * radius) {
+        EXPECT_TRUE(std::binary_search(got.begin(), got.end(), v))
+            << "trial " << trial << " missed vertex " << v;
+      }
+    }
+  }
+}
+
+TEST(SpatialGrid, PlaceMovesVerticesBetweenCells) {
+  SpatialGrid grid(16, 0.25);  // 4x4 grid
+  grid.place(0, {0.1, 0.1});
+  grid.place(1, {0.1, 0.15});
+  grid.place(2, {0.9, 0.9});
+  EXPECT_EQ(grid.cellMembers(grid.cellOf({0.1, 0.1})).size(), 2u);
+
+  grid.place(0, {0.9, 0.92});  // far move: swap-popped out of the old cell
+  EXPECT_EQ(grid.cellMembers(grid.cellOf({0.1, 0.1})).size(), 1u);
+  EXPECT_EQ(grid.cellMembers(grid.cellOf({0.1, 0.1})).front(), 1u);
+  EXPECT_EQ(grid.cellMembers(grid.cellOf({0.9, 0.9})).size(), 2u);
+
+  std::vector<Vertex> got;
+  grid.gather({0.9, 0.9}, 0.1, got);
+  EXPECT_NE(std::find(got.begin(), got.end(), 0u), got.end());
+  EXPECT_NE(std::find(got.begin(), got.end(), 2u), got.end());
+}
+
+TEST(SpatialGrid, OutOfSquareCoordinatesClampSafely) {
+  SpatialGrid grid(4, 0.5);
+  grid.place(0, {-0.3, 1.7});  // clamps into a border cell
+  std::vector<Vertex> got;
+  grid.gather({0.0, 1.0}, 0.8, got);  // query rectangle leaves the square too
+  EXPECT_NE(std::find(got.begin(), got.end(), 0u), got.end());
+}
+
+TEST(SpatialGrid, TinyCellWidthIsCappedNearOrder) {
+  // A minuscule radius must not allocate 1/width^2 cells; the grid caps at
+  // ~order cells and stays correct because gather widens over more cells.
+  SpatialGrid grid(100, 1e-6);
+  EXPECT_LE(grid.cellCount(), 100u);
+  grid.place(7, {0.5, 0.5});
+  std::vector<Vertex> got;
+  grid.gather({0.5001, 0.5001}, 0.001, got);
+  EXPECT_NE(std::find(got.begin(), got.end(), 7u), got.end());
 }
 
 }  // namespace
