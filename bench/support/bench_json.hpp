@@ -4,7 +4,7 @@
 // JSONL stream it can diff across commits. Every bench calls
 // appendBenchJson(); when the SELFSTAB_BENCH_JSON env var names a file, one
 // {"bench":"<name>",...} line is appended per call (scripts/run_all.sh
-// points it at BENCH_PR3.json), and when it is unset the call is a no-op so
+// points it at BENCH_PR4.json), and when it is unset the call is a no-op so
 // ad hoc runs stay clean.
 #pragma once
 

@@ -33,6 +33,11 @@ cmake --build "$TSAN_DIR" --target telemetry_tests engine_tests stress_tests
   "$TSAN_DIR/tests/engine_tests" --gtest_filter='ParallelRunner.*'
   SELFSTAB_STRESS_ITERS="${SELFSTAB_TSAN_STRESS_ITERS:-3}" \
     "$TSAN_DIR/tests/stress_tests" --gtest_filter='*Parallel*'
+  # Chaos soak under TSan: engine campaigns replay on the parallel runner
+  # inside the serial-vs-parallel agreement path, so data races in the
+  # fault-injection plumbing surface here.
+  SELFSTAB_STRESS_ITERS="${SELFSTAB_TSAN_STRESS_ITERS:-3}" \
+    "$TSAN_DIR/tests/stress_tests" --gtest_filter='ChaosSoak.*'
 } 2>&1 | tee "$ROOT/tsan_output.txt"
 
 # AddressSanitizer pass over the beacon-simulator suites: the spatial-index
@@ -47,11 +52,18 @@ cmake --build "$ASAN_DIR" --target adhoc_tests stress_tests
   "$ASAN_DIR/tests/adhoc_tests"
   SELFSTAB_STRESS_ITERS="${SELFSTAB_ASAN_STRESS_ITERS:-3}" \
     "$ASAN_DIR/tests/stress_tests" --gtest_filter='NetworkDifferential*'
+  # Chaos soak under ASan: crash/rejoin churn and partition masks rebuild
+  # graph edge lists and neighbor caches in place — the fault campaigns
+  # exercise exactly the compaction paths ASan is here to police.
+  SELFSTAB_STRESS_ITERS="${SELFSTAB_ASAN_STRESS_ITERS:-3}" \
+    "$ASAN_DIR/tests/stress_tests" --gtest_filter='ChaosSoak.*'
 } 2>&1 | tee "$ROOT/asan_output.txt"
 
 # Benches append machine-readable results here (see
-# bench/support/bench_json.hpp); the PR 3 perf gates live in scale_network.
-BENCH_JSON="$ROOT/BENCH_PR3.json"
+# bench/support/bench_json.hpp); the PR 3 perf gates live in scale_network
+# and the PR 4 chaos gates (overhead, determinism, recovery bounds) in
+# soak_chaos.
+BENCH_JSON="$ROOT/BENCH_PR4.json"
 : > "$BENCH_JSON"
 export SELFSTAB_BENCH_JSON="$BENCH_JSON"
 

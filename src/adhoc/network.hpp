@@ -39,6 +39,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -97,6 +103,30 @@ struct NetworkConfig {
   IndexMode index = IndexMode::Grid;
   QueueMode queue = QueueMode::Calendar;
   std::uint64_t seed = 1;
+
+  /// Throws std::invalid_argument for configurations the simulator cannot
+  /// honor. NetworkSimulator's constructor calls this; the CLIs call it as
+  /// soon as the flags are parsed so a bad value fails with a clear message
+  /// instead of a hang or an assert. NaN fails every range check below.
+  void validate() const {
+    const auto fail = [](const std::string& what) {
+      throw std::invalid_argument("NetworkConfig: " + what);
+    };
+    if (beaconInterval <= 0) fail("beaconInterval must be > 0");
+    if (!(jitterFraction >= 0.0 && jitterFraction < 1.0)) {
+      fail("jitterFraction must be in [0, 1)");
+    }
+    if (!(timeoutFactor > 0.0)) fail("timeoutFactor must be > 0");
+    if (propagationDelay < 0) fail("propagationDelay must be >= 0");
+    if (!(lossProbability >= 0.0 && lossProbability <= 1.0)) {
+      fail("lossProbability must be in [0, 1]");
+    }
+    if (collisionWindow < 0) fail("collisionWindow must be >= 0");
+    if (!(radius > 0.0)) fail("radius must be > 0");
+    for (const double r : perNodeRadius) {
+      if (!(r > 0.0)) fail("perNodeRadius entries must be > 0");
+    }
+  }
 };
 
 struct NetworkStats {
@@ -150,6 +180,12 @@ class NetworkSimulator {
         posStamp_(mobility.order(), -1),
         posPoint_(mobility.order()) {
     assert(ids.order() == mobility.order());
+    config_.validate();
+    if (!config_.perNodeRadius.empty() &&
+        config_.perNodeRadius.size() != mobility.order()) {
+      throw std::invalid_argument(
+          "NetworkConfig: perNodeRadius size must match the node count");
+    }
     maxRadius_ = config_.radius;
     if (!config_.perNodeRadius.empty()) {
       maxRadius_ = *std::max_element(config_.perNodeRadius.begin(),
@@ -240,11 +276,15 @@ class NetworkSimulator {
   /// Runs until no node has changed protocol state for `quietWindow`, or
   /// until maxTime. (Quiescence in the beacon model: every node keeps
   /// evaluating its rules each interval but none is privileged.)
-  QuietResult runUntilQuiet(SimTime quietWindow, SimTime maxTime) {
+  /// `noQuietBefore` suppresses the quiet exit until that time — a fault
+  /// campaign must not declare quiescence while events are still pending.
+  QuietResult runUntilQuiet(SimTime quietWindow, SimTime maxTime,
+                            SimTime noQuietBefore = 0) {
     QuietResult result;
     while (!queue_.empty() && queue_.nextTime() <= maxTime) {
       dispatch(queue_.pop());
-      if (queue_.now() - lastMove_ >= quietWindow) {
+      if (queue_.now() >= noQuietBefore &&
+          queue_.now() - lastMove_ >= quietWindow) {
         result.quiet = true;
         break;
       }
@@ -328,6 +368,9 @@ class NetworkSimulator {
     return g;
   }
 
+  [[nodiscard]] const NetworkConfig& config() const noexcept {
+    return config_;
+  }
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const IndexStats& indexStats() const noexcept {
     return indexStats_;
@@ -341,16 +384,141 @@ class NetworkSimulator {
            static_cast<double>(config_.beaconInterval);
   }
 
+  // --- Fault-campaign hooks (driven by chaos::SimChaosController) -------
+  //
+  // chaosAttach() allocates the chaos state; every other chaos* method
+  // requires it. While no fault has fired the attached simulator's
+  // trajectory is bit-identical to an unattached one: the chaos checks
+  // read only all-zero flag arrays, consume no RNG draws, and schedule no
+  // events (the controller owns a separate Rng for fault randomness).
+
+  /// `maxDriftFactor` widens the grid's broadcast staleness slack so a
+  /// drift-slowed beacon interval keeps the gather superset sound.
+  void chaosAttach(double maxDriftFactor = 1.0) {
+    if (chaos_ != nullptr) return;
+    chaos_ = std::make_unique<ChaosState>();
+    const std::size_t n = nodes_.size();
+    chaos_->crashed.assign(n, 0);
+    chaos_->stuck.assign(n, 0);
+    chaos_->epoch.assign(n, 0);
+    chaos_->drift.assign(n, 1.0);
+    chaos_->side.assign(n, 0);
+    chaos_->garbled.assign(n, std::nullopt);
+    if (maxDriftFactor > 1.0) broadcastSlack_ *= maxDriftFactor;
+  }
+  [[nodiscard]] bool chaosAttached() const noexcept {
+    return chaos_ != nullptr;
+  }
+
+  /// Schedules a ChaosTick carrying `index`; the handler set via
+  /// chaosSetHandler receives it when simulated time reaches `at`.
+  void chaosScheduleTick(SimTime at, std::int64_t index) {
+    queue_.schedule(at, Event{ChaosTick{index}});
+  }
+  void chaosSetHandler(std::function<void(std::int64_t)> handler) {
+    chaos_->handler = std::move(handler);
+  }
+  /// Called after every committed protocol move (simulated time, node).
+  void chaosSetMoveHook(std::function<void(SimTime, graph::Vertex)> hook) {
+    chaos_->moveHook = std::move(hook);
+  }
+
+  /// Crash: the node stops transmitting (its pending beacon-timer chain is
+  /// orphaned by the epoch bump) and hears nothing until it rejoins.
+  /// Neighbors discover the silence through cache expiry, exactly like a
+  /// real host vanishing.
+  void chaosCrash(graph::Vertex v) {
+    chaos_->crashed[v] = 1;
+    ++chaos_->epoch[v];
+  }
+
+  /// Rejoin after a crash: fresh initial state, empty neighbor cache, and a
+  /// new beacon-timer chain starting `phase` from now (the caller picks the
+  /// phase from its own RNG to keep the restart desynchronized).
+  void chaosRejoin(graph::Vertex v, SimTime phase) {
+    chaos_->crashed[v] = 0;
+    ++chaos_->epoch[v];
+    nodes_[v].state = protocol_->initialState(v);
+    nodes_[v].cache.clear();
+    nodes_[v].dirty = true;
+    lastMove_ = queue_.now();
+    if (config_.index == IndexMode::Grid) {
+      grid_.place(v, positionAt(v, queue_.now()));
+    }
+    queue_.schedule(queue_.now() + std::max<SimTime>(1, phase),
+                    Event{BeaconTimer{v, chaos_->epoch[v]}});
+    if (events_ != nullptr) {
+      events_->emit("reboot", {{"t_us", queue_.now()}, {"node", v}});
+    }
+  }
+
+  /// Partition: beacons between different sides are dropped at the radio.
+  void chaosSetPartition(std::vector<std::uint8_t> side) {
+    assert(side.size() == nodes_.size());
+    chaos_->side = std::move(side);
+    chaos_->partitionActive = true;
+  }
+  void chaosHealPartition() { chaos_->partitionActive = false; }
+
+  /// Loss bursts: swap the per-receiver loss probability (restore with the
+  /// original value). The loss draw consumes one RNG value regardless of p,
+  /// so changing it never desynchronizes the Grid/Scan draw order.
+  void chaosSetLossProbability(double p) { config_.lossProbability = p; }
+  [[nodiscard]] double lossProbability() const noexcept {
+    return config_.lossProbability;
+  }
+
+  /// Clock drift: this node's beacon interval is multiplied by `factor`
+  /// (1.0 restores a true clock).
+  void chaosSetDrift(graph::Vertex v, double factor) {
+    chaos_->drift[v] = factor;
+  }
+
+  /// Stuck: the node keeps beaconing its current state but never evaluates
+  /// its rules — a frozen program with a live radio.
+  void chaosSetStuck(graph::Vertex v, bool stuck) {
+    chaos_->stuck[v] = stuck ? 1 : 0;
+    if (!stuck) nodes_[v].dirty = true;  // resume with a forced evaluation
+  }
+
+  /// Garble: the node's *next* beacon carries `payload` instead of its real
+  /// state (one corrupted transmission, then the radio is honest again).
+  void chaosGarble(graph::Vertex v, State payload) {
+    chaos_->garbled[v] = std::move(payload);
+  }
+
+  /// Overwrites one node's state in place (targeted corruption).
+  void setNodeState(graph::Vertex v, State state) {
+    nodes_[v].state = std::move(state);
+    nodes_[v].dirty = true;
+    lastMove_ = queue_.now();
+  }
+
+  [[nodiscard]] bool chaosCrashed(graph::Vertex v) const noexcept {
+    return chaos_ != nullptr && chaos_->crashed[v] != 0;
+  }
+  [[nodiscard]] bool chaosStuck(graph::Vertex v) const noexcept {
+    return chaos_ != nullptr && chaos_->stuck[v] != 0;
+  }
+
  private:
   struct BeaconTimer {
     graph::Vertex node;
+    /// Crash/rejoin bump the node's chaos epoch; a timer whose epoch no
+    /// longer matches belongs to an orphaned chain and is dropped. Always 0
+    /// when no chaos state is attached.
+    std::uint32_t epoch = 0;
   };
   struct Delivery {
     graph::Vertex to;
     graph::Vertex from;
     State payload;
   };
-  using Event = std::variant<BeaconTimer, Delivery>;
+  /// Fault-campaign timer; `index` identifies the FaultEvent to apply.
+  struct ChaosTick {
+    std::int64_t index;
+  };
+  using Event = std::variant<BeaconTimer, Delivery, ChaosTick>;
 
   struct CacheEntry {
     graph::Vertex from;
@@ -378,13 +546,16 @@ class NetworkSimulator {
 
   void dispatch(Event event) {
     if (auto* timer = std::get_if<BeaconTimer>(&event)) {
-      onBeaconTimer(timer->node);
+      onBeaconTimer(timer->node, timer->epoch);
+    } else if (auto* tick = std::get_if<ChaosTick>(&event)) {
+      if (chaos_ != nullptr && chaos_->handler) chaos_->handler(tick->index);
     } else {
       onDelivery(std::get<Delivery>(std::move(event)));
     }
   }
 
-  void onBeaconTimer(graph::Vertex v) {
+  void onBeaconTimer(graph::Vertex v, std::uint32_t epoch) {
+    if (chaos_ != nullptr && epoch != chaos_->epoch[v]) return;  // orphaned
     const telemetry::ScopedTimer roundTimer(metrics_.roundDuration);
     const SimTime now = queue_.now();
     Node& node = nodes_[v];
@@ -423,8 +594,10 @@ class NetworkSimulator {
     // Active schedule a clean node skips the evaluation: its view is
     // unchanged since the last (disabled) evaluation, so a deterministic
     // rule would return the same nullopt.
-    const bool evaluate = config_.schedule != engine::Schedule::Active ||
-                          protocol_->usesRoundEntropy() || node.dirty;
+    const bool stuckNode = chaos_ != nullptr && chaos_->stuck[v] != 0;
+    const bool evaluate =
+        !stuckNode && (config_.schedule != engine::Schedule::Active ||
+                       protocol_->usesRoundEntropy() || node.dirty);
     if (evaluate) {
       ++stats_.ruleEvaluations;
       if (metrics_.ruleEvaluations != nullptr) metrics_.ruleEvaluations->inc();
@@ -451,6 +624,7 @@ class NetworkSimulator {
           events_->emit("move", {{"t_us", now}, {"node", v}});
         }
         lastMove_ = now;
+        if (chaos_ != nullptr && chaos_->moveHook) chaos_->moveHook(now, v);
       }
     } else {
       ++stats_.evaluationsSkipped;
@@ -467,8 +641,22 @@ class NetworkSimulator {
     // grid merely prunes receivers that cannot possibly be in range.
     const graph::Point me = positionAt(v, now);
     const double r2 = radiusOf(v) * radiusOf(v);
+    const State* payload = &node.state;
+    if (chaos_ != nullptr && chaos_->garbled[v].has_value()) {
+      payload = &*chaos_->garbled[v];
+    }
     const auto offerBeacon = [&](graph::Vertex u) {
       if (u == v) return;
+      if (chaos_ != nullptr) {
+        // Crashed receivers hear nothing; a partition cuts cross-side
+        // links. Both tests precede the distance test and the loss draw so
+        // Grid and Scan stay RNG-aligned: a chaos-dropped receiver consumes
+        // no draws in either mode.
+        if (chaos_->crashed[u] != 0) return;
+        if (chaos_->partitionActive && chaos_->side[u] != chaos_->side[v]) {
+          return;
+        }
+      }
       const graph::Point other = positionAt(u, now);
       ++indexStats_.rangeChecks;
       if (metrics_.rangeChecks != nullptr) metrics_.rangeChecks->inc();
@@ -486,7 +674,7 @@ class NetworkSimulator {
         return;
       }
       queue_.schedule(now + config_.propagationDelay,
-                      Event{Delivery{u, v, node.state}});
+                      Event{Delivery{u, v, *payload}});
     };
     if (config_.index == IndexMode::Grid) {
       grid_.place(v, me);
@@ -515,20 +703,26 @@ class NetworkSimulator {
     lastTx_[v] = now;
     ++stats_.beaconsSent;
     if (metrics_.beaconsSent != nullptr) metrics_.beaconsSent->inc();
+    if (chaos_ != nullptr) chaos_->garbled[v].reset();  // one beacon only
 
-    // Next beacon with jitter.
+    // Next beacon with jitter (and any chaos clock drift; drift 1.0
+    // multiplies through exactly, keeping the undrifted interval
+    // bit-identical).
     const double jitter =
         rng_.real(-config_.jitterFraction, config_.jitterFraction);
+    const double drift = chaos_ != nullptr ? chaos_->drift[v] : 1.0;
     const auto interval = std::max<SimTime>(
         1, static_cast<SimTime>(
-               (1.0 + jitter) * static_cast<double>(config_.beaconInterval)));
-    queue_.schedule(now + interval, Event{BeaconTimer{v}});
+               (1.0 + jitter) * drift *
+               static_cast<double>(config_.beaconInterval)));
+    queue_.schedule(now + interval, Event{BeaconTimer{v, epoch}});
     if (metrics_.queueDepth != nullptr) {
       metrics_.queueDepth->observe(static_cast<double>(queue_.size()));
     }
   }
 
   void onDelivery(Delivery&& d) {
+    if (chaos_ != nullptr && chaos_->crashed[d.to] != 0) return;
     Node& node = nodes_[d.to];
     const SimTime now = queue_.now();
     const auto it = std::lower_bound(
@@ -653,6 +847,24 @@ class NetworkSimulator {
     telemetry::Histogram* roundDuration = nullptr;
   };
 
+  /// Fault-campaign state. Allocated only by chaosAttach(): a null pointer
+  /// keeps every hot-path chaos check to one predicted-not-taken branch,
+  /// and an attached-but-quiet simulator (empty plan) reads only all-zero
+  /// flags — no RNG stream, event, or schedule is perturbed until a fault
+  /// actually fires. Fault randomness (victim choice, corrupted states,
+  /// rejoin phases) lives in the controller's own Rng, never in rng_.
+  struct ChaosState {
+    std::function<void(std::int64_t)> handler;
+    std::function<void(SimTime, graph::Vertex)> moveHook;
+    std::vector<std::uint8_t> crashed;
+    std::vector<std::uint8_t> stuck;
+    std::vector<std::uint32_t> epoch;
+    std::vector<double> drift;
+    std::vector<std::uint8_t> side;
+    std::vector<std::optional<State>> garbled;
+    bool partitionActive = false;
+  };
+
   const engine::Protocol<State>* protocol_;
   const graph::IdAssignment* ids_;
   Mobility* mobility_;
@@ -675,6 +887,7 @@ class NetworkSimulator {
   telemetry::EventLog* events_ = nullptr;
   SimTime lastMove_ = 0;
   std::vector<engine::NeighborRef<State>> neighborBuffer_;
+  std::unique_ptr<ChaosState> chaos_;
 };
 
 }  // namespace selfstab::adhoc

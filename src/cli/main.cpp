@@ -3,6 +3,7 @@
 #include <iostream>
 #include <vector>
 
+#include "chaos/plan.hpp"
 #include "cli/options.hpp"
 #include "cli/run.hpp"
 
@@ -26,6 +27,9 @@ int main(int argc, char** argv) {
     return report.predicateOk ? 0 : 2;
   } catch (const CliError& e) {
     std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  } catch (const selfstab::chaos::PlanError& e) {
+    std::cerr << "error: --chaos: " << e.what() << '\n';
     return 1;
   }
 }

@@ -2,6 +2,7 @@
 #include <iostream>
 #include <vector>
 
+#include "chaos/plan.hpp"
 #include "cli/sim_options.hpp"
 #include "cli/sim_run.hpp"
 
@@ -23,6 +24,9 @@ int main(int argc, char** argv) {
     return report.predicateOk ? 0 : 2;
   } catch (const CliError& e) {
     std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  } catch (const selfstab::chaos::PlanError& e) {
+    std::cerr << "error: --chaos: " << e.what() << '\n';
     return 1;
   }
 }

@@ -84,13 +84,16 @@ GraphSpec parseGraphSpec(const std::string& spec) {
     gs.kind = GraphSpec::Kind::Gnp;
     gs.n = parseSize(parts[1], "size");
     gs.param = parseDouble(parts[2], "edge probability");
-    if (gs.param < 0.0 || gs.param > 1.0) fail("gnp probability not in [0,1]");
+    // !(a && b) instead of (< || >): NaN must not slip through.
+    if (!(gs.param >= 0.0 && gs.param <= 1.0)) {
+      fail("gnp probability not in [0,1]");
+    }
   } else if (kind == "udg") {
     wantParts(3);
     gs.kind = GraphSpec::Kind::Udg;
     gs.n = parseSize(parts[1], "size");
     gs.param = parseDouble(parts[2], "radius");
-    if (gs.param <= 0.0) fail("udg radius must be positive");
+    if (!(gs.param > 0.0)) fail("udg radius must be positive");  // NaN-safe
   } else if (kind == "file") {
     wantParts(2);
     gs.kind = GraphSpec::Kind::File;
@@ -177,6 +180,9 @@ Options parseOptions(const std::vector<std::string>& args) {
       options.metricsPath = next(i, arg);
     } else if (arg == "--events") {
       options.eventsPath = next(i, arg);
+    } else if (arg == "--chaos") {
+      options.chaosSpec = next(i, arg);
+      if (options.chaosSpec.empty()) fail("--chaos needs a plan");
     } else {
       fail("unknown argument '" + arg + "' (try --help)");
     }
@@ -206,12 +212,16 @@ usage: selfstab [options]
   --save-graph P  write the (possibly generated) topology as an edge list
   --metrics PATH  dump run telemetry as JSON + Prometheus text ("-" = stdout)
   --events PATH   write a JSONL event log ("-" = stdout)
+  --chaos SPEC    run a fault campaign: a JSON plan file, or a built-in
+                  template "churn:SEED" | "crash-storm:SEED"
+                  | "rolling-partition:SEED" (see docs/ROBUSTNESS.md)
   --help, -h      this text
 
 examples:
   selfstab -p smm -g udg:50:0.3 --trace
   selfstab -p sis -g file:topo.txt --ids random --seed 7
   selfstab -p smm-arbitrary -g cycle:4     # the paper's counterexample
+  selfstab -p smm -g gnp:40:0.15 --chaos churn:7 --events -
 )";
 }
 

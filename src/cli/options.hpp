@@ -67,6 +67,7 @@ struct Options {
   std::string saveGraphPath;  ///< write the topology as an edge list
   std::string metricsPath;    ///< dump telemetry (JSON + Prometheus); "-" = stdout
   std::string eventsPath;     ///< JSONL event log; "-" = stdout
+  std::string chaosSpec;      ///< fault plan: JSON path or "template:seed"
   bool help = false;
 };
 

@@ -8,6 +8,9 @@
 
 #include "analysis/trace.hpp"
 #include "analysis/verifiers.hpp"
+#include "chaos/campaign.hpp"
+#include "chaos/plan.hpp"
+#include "chaos/safety.hpp"
 #include "cli/metrics_io.hpp"
 #include "core/bfs_tree.hpp"
 #include "core/coloring.hpp"
@@ -78,7 +81,52 @@ std::vector<State> drive(const Options& options, const Sinks& sinks,
                          const engine::Protocol<State>& protocol,
                          const Graph& g, const IdAssignment& ids,
                          std::size_t autoBudget, Sampler sampler,
-                         Metric metric, std::ostream& out, Report& report) {
+                         Metric metric, std::ostream& out, Report& report,
+                         const chaos::SafetyCheck<State>& safety = {}) {
+  if (!options.chaosSpec.empty()) {
+    // Fault campaign: the runner owns a mutable copy of the topology (crash
+    // and partition events mask edges in place); the caller's graph stays
+    // the base topology its verifiers expect. --max-rounds, if set, caps
+    // each fault's recovery window instead of the whole run.
+    const chaos::FaultPlan plan =
+        chaos::parseChaosSpec(options.chaosSpec, g.order());
+    Graph effective = g;
+    engine::SyncRunner<State> runner(protocol, effective, ids, options.seed,
+                                     options.schedule);
+    runner.attachTelemetry(sinks.registry, sinks.events);
+    std::vector<State> states;
+    if (options.start == StartKind::Clean) {
+      states = runner.initialStates();
+    } else {
+      graph::Rng rng(hashCombine(options.seed, 0x5747u));
+      states = engine::randomConfiguration<State>(g, rng, sampler);
+    }
+    chaos::RecoveryMonitor monitor;
+    monitor.attachTelemetry(sinks.registry, sinks.events);
+    const chaos::CampaignResult result = chaos::runEngineCampaign(
+        runner, protocol, effective, ids, states, plan,
+        hashCombine(options.seed, 0xC4A05ULL), options.maxRounds, sampler,
+        &monitor, safety);
+    report.rounds = result.roundsExecuted;
+    report.moves = result.totalMoves;
+    report.stabilized = result.finalFixpoint;
+    report.chaosActive = true;
+    report.chaosFaults = monitor.records().size();
+    report.chaosRecoveredAll = result.recoveredAll;
+    report.chaosMaxRecoveryRounds = monitor.maxRecoveryRounds();
+    report.chaosMaxContainment = monitor.maxContainmentRadius();
+    report.chaosSafetyViolations = result.safetyViolations;
+    if (options.trace) {
+      for (const auto& r : monitor.records()) {
+        out << "fault @" << r.at << " " << r.kind << ": "
+            << (r.recovered ? "recovered" : "NOT recovered") << " in "
+            << r.recoveryRounds << " round(s), containment "
+            << r.containmentRadius << '\n';
+      }
+    }
+    return states;
+  }
+
   engine::SyncRunner<State> runner(protocol, g, ids, options.seed,
                                    options.schedule);
   runner.attachTelemetry(sinks.registry, sinks.events);
@@ -151,7 +199,7 @@ Report runMatching(const Options& options, const Sinks& sinks, const Graph& g,
     const core::SmmProtocol smm = core::smmPaper();
     report.protocol = std::string(smm.name());
     states = drive(options, sinks, smm, g, ids, budget, core::randomPointerState,
-                   matchingMetric(g), out, report);
+                   matchingMetric(g), out, report, chaos::smmSafetyCheck());
   } else if (options.protocol == ProtocolKind::SmmArbitrary) {
     const core::SmmProtocol broken =
         core::smmArbitrary(core::Choice::Successor);
@@ -201,7 +249,7 @@ Report runSis(const Options& options, const Sinks& sinks, const Graph& g,
   report.protocol = std::string(sis.name());
   auto states = drive(options, sinks, sis, g, ids, g.order() + 1,
                       core::randomBitState, membershipMetric<core::BitState>(),
-                      out, report);
+                      out, report, chaos::sisSafetyCheck());
   const auto members = analysis::membersOf(states);
   report.predicateOk =
       report.stabilized && analysis::isMaximalIndependentSet(g, members);
@@ -481,6 +529,13 @@ void printReport(const Report& report, std::ostream& out) {
       << "moves       : " << report.moves << '\n'
       << "result      : " << report.summary << '\n'
       << "verified    : " << (report.predicateOk ? "yes" : "NO") << '\n';
+  if (report.chaosActive) {
+    out << "chaos       : " << report.chaosFaults << " fault(s), "
+        << (report.chaosRecoveredAll ? "all recovered" : "NOT all recovered")
+        << ", worst recovery " << report.chaosMaxRecoveryRounds
+        << " round(s), worst containment " << report.chaosMaxContainment
+        << ", safety violations " << report.chaosSafetyViolations << '\n';
+  }
 }
 
 }  // namespace selfstab::cli

@@ -21,6 +21,14 @@ struct Report {
   bool livelockCertified = false;  ///< deterministic revisit detected
   bool predicateOk = false;
   std::string summary;  ///< e.g. "maximal matching: 12 pairs"
+
+  // Fault-campaign outcome (--chaos); see docs/ROBUSTNESS.md.
+  bool chaosActive = false;
+  std::size_t chaosFaults = 0;            ///< fault events injected
+  bool chaosRecoveredAll = false;         ///< every window re-stabilized
+  std::size_t chaosMaxRecoveryRounds = 0;
+  std::size_t chaosMaxContainment = 0;    ///< worst BFS containment radius
+  std::size_t chaosSafetyViolations = 0;
 };
 
 /// Builds the topology described by `spec` (reads files for Kind::File).

@@ -22,7 +22,8 @@ double parseProbability(const std::string& text, const std::string& what) {
   try {
     std::size_t consumed = 0;
     const double value = std::stod(text, &consumed);
-    if (consumed != text.size() || value < 0.0 || value > 1.0) {
+    // !(a && b) instead of (< || >): NaN must not slip through.
+    if (consumed != text.size() || !(value >= 0.0 && value <= 1.0)) {
       fail("invalid " + what + " (want [0,1]): '" + text + "'");
     }
     return value;
@@ -35,7 +36,7 @@ double parsePositive(const std::string& text, const std::string& what) {
   try {
     std::size_t consumed = 0;
     const double value = std::stod(text, &consumed);
-    if (consumed != text.size() || value <= 0.0) {
+    if (consumed != text.size() || !(value > 0.0)) {  // NaN-safe
       fail("invalid " + what + " (want > 0): '" + text + "'");
     }
     return value;
@@ -151,6 +152,9 @@ SimOptions parseSimOptions(const std::vector<std::string>& args) {
       options.metricsPath = next(i, arg);
     } else if (arg == "--events") {
       options.eventsPath = next(i, arg);
+    } else if (arg == "--chaos") {
+      options.chaosSpec = next(i, arg);
+      if (options.chaosSpec.empty()) fail("--chaos needs a plan");
     } else {
       fail("unknown argument '" + arg + "' (try --help)");
     }
@@ -187,11 +191,15 @@ usage: selfstab-sim [options]
   --json           emit the final report as JSON (suppresses the timeline)
   --metrics PATH   dump run telemetry as JSON + Prometheus text ("-" = stdout)
   --events PATH    write a JSONL event log ("-" = stdout)
+  --chaos SPEC     run a fault campaign: a JSON plan file, or a built-in
+                   template "churn:SEED" | "crash-storm:SEED"
+                   | "rolling-partition:SEED" (see docs/ROBUSTNESS.md)
   --help, -h       this text
 
 examples:
   selfstab-sim -p smm -n 30 --loss 0.1
   selfstab-sim -p sis --mobility waypoint --stop-sec 40 --duration-sec 120
+  selfstab-sim -p smm -n 30 --chaos crash-storm:3 --events -
 )";
 }
 

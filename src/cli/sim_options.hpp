@@ -42,6 +42,7 @@ struct SimOptions {
   bool json = false;          ///< machine-readable SimReport instead of prose
   std::string metricsPath;    ///< dump telemetry (JSON + Prometheus); "-" = stdout
   std::string eventsPath;     ///< JSONL event log; "-" = stdout
+  std::string chaosSpec;      ///< fault plan: JSON path or "template:seed"
 
   bool help = false;
 };

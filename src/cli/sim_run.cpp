@@ -8,6 +8,9 @@
 
 #include "adhoc/network.hpp"
 #include "analysis/verifiers.hpp"
+#include "chaos/injector.hpp"
+#include "chaos/monitors.hpp"
+#include "chaos/plan.hpp"
 #include "cli/metrics_io.hpp"
 #include "core/leader_tree.hpp"
 #include "core/sis.hpp"
@@ -51,17 +54,36 @@ adhoc::NetworkConfig makeConfig(const SimOptions& options) {
 
 /// Drives one protocol type through the timeline loop. `verify` and
 /// `describe` evaluate the final configuration against the ground-truth
-/// bidirectional topology.
-template <typename State, typename Verify, typename Describe>
+/// bidirectional topology. `sampler` supplies corrupted states for --chaos.
+template <typename State, typename Sampler, typename Verify, typename Describe>
 SimReport driveSim(const SimOptions& options, telemetry::Registry* registry,
                    telemetry::EventLog* events,
                    const engine::Protocol<State>& protocol,
-                   const graph::IdAssignment& ids, Verify verify,
-                   Describe describe, std::ostream& out) {
+                   const graph::IdAssignment& ids, Sampler sampler,
+                   Verify verify, Describe describe, std::ostream& out) {
   auto mobility = makeMobility(options);
   adhoc::NetworkSimulator<State> sim(protocol, ids, *mobility,
                                      makeConfig(options));
   sim.attachTelemetry(registry, events);
+
+  // Fault campaign: with no --chaos the plan is empty and the controller is
+  // inert — the trajectory is bit-identical to a build without it.
+  chaos::FaultPlan plan;
+  if (!options.chaosSpec.empty()) {
+    plan = chaos::parseChaosSpec(options.chaosSpec, options.nodes);
+  }
+  chaos::RecoveryMonitor monitor;
+  monitor.attachTelemetry(registry, events);
+  chaos::SimChaosController<State, Sampler> controller(
+      sim, plan, hashCombine(options.seed, 0xC4A05ULL), sampler,
+      options.beaconInterval, monitor);
+  // A campaign stretches the time budget to cover its own tail, and
+  // suppresses the quiet early-exit until every scheduled fault has fired.
+  const SimTime duration =
+      controller.active()
+          ? std::max(options.duration,
+                     controller.noQuietBefore() + 10 * options.beaconInterval)
+          : options.duration;
 
   // --json wants a single machine-readable document on stdout, so the
   // human timeline is suppressed.
@@ -69,10 +91,11 @@ SimReport driveSim(const SimOptions& options, telemetry::Registry* registry,
   if (timeline) out << "time(s)  links  moves  beacons(sent/lost/coll)\n";
   const SimTime quietWindow = 5 * options.beaconInterval;
   bool quiet = false;
-  for (SimTime t = options.reportEvery; t <= options.duration;
+  for (SimTime t = options.reportEvery; t <= duration;
        t += options.reportEvery) {
     if (options.untilQuiet) {
-      const auto result = sim.runUntilQuiet(quietWindow, t);
+      const auto result =
+          sim.runUntilQuiet(quietWindow, t, controller.noQuietBefore());
       quiet = result.quiet;
     } else {
       sim.run(t);
@@ -86,6 +109,7 @@ SimReport driveSim(const SimOptions& options, telemetry::Registry* registry,
     }
     if (quiet) break;
   }
+  controller.finalize();
 
   SimReport report;
   report.protocol = std::string(protocol.name());
@@ -108,6 +132,13 @@ SimReport driveSim(const SimOptions& options, telemetry::Registry* registry,
   report.evaluationsSkipped = stats.evaluationsSkipped;
   report.rounds = static_cast<std::size_t>(sim.now() / options.beaconInterval);
   report.rangeChecks = sim.indexStats().rangeChecks;
+  if (controller.active()) {
+    report.chaosActive = true;
+    report.chaosFaults = monitor.records().size();
+    report.chaosRecoveredAll = monitor.allRecovered();
+    report.chaosMaxRecoveryRounds = monitor.maxRecoveryRounds();
+    report.chaosMaxContainment = monitor.maxContainmentRadius();
+  }
   if (registry != nullptr) {
     // The paper counts rounds as whole beacon intervals; finalize the
     // counter here so it equals SimReport::rounds exactly.
@@ -133,7 +164,7 @@ SimReport executeSim(const SimOptions& options, std::ostream& out) {
     case SimProtocolKind::Smm: {
       const core::SmmProtocol smm = core::smmPaper();
       report = driveSim<core::PointerState>(
-          options, reg, events.get(), smm, ids,
+          options, reg, events.get(), smm, ids, core::randomPointerState,
           [](const graph::Graph& g,
              const std::vector<core::PointerState>& states) {
             return analysis::checkMatchingFixpoint(g, states).ok();
@@ -151,7 +182,7 @@ SimReport executeSim(const SimOptions& options, std::ostream& out) {
     case SimProtocolKind::Sis: {
       const core::SisProtocol sis;
       report = driveSim<core::BitState>(
-          options, reg, events.get(), sis, ids,
+          options, reg, events.get(), sis, ids, core::randomBitState,
           [](const graph::Graph& g,
              const std::vector<core::BitState>& states) {
             return analysis::isMaximalIndependentSet(
@@ -171,7 +202,7 @@ SimReport executeSim(const SimOptions& options, std::ostream& out) {
       const core::LeaderTreeProtocol protocol(
           static_cast<std::uint32_t>(options.nodes));
       report = driveSim<core::LeaderState>(
-          options, reg, events.get(), protocol, ids,
+          options, reg, events.get(), protocol, ids, core::randomLeaderState,
           [](const graph::Graph& g,
              const std::vector<core::LeaderState>& states) {
             const graph::IdAssignment identity =
@@ -225,6 +256,14 @@ void printSimReportJson(const SimReport& report, std::ostream& out) {
       .value(static_cast<std::uint64_t>(report.evaluationsSkipped));
   w.key("rangeChecks").value(static_cast<std::uint64_t>(report.rangeChecks));
   w.key("summary").value(report.summary);
+  if (report.chaosActive) {
+    w.key("chaosFaults").value(static_cast<std::uint64_t>(report.chaosFaults));
+    w.key("chaosRecoveredAll").value(report.chaosRecoveredAll);
+    w.key("chaosMaxRecoveryRounds")
+        .value(static_cast<std::uint64_t>(report.chaosMaxRecoveryRounds));
+    w.key("chaosMaxContainment")
+        .value(static_cast<std::uint64_t>(report.chaosMaxContainment));
+  }
   w.endObject();
   out << '\n';
 }
@@ -247,6 +286,13 @@ void printSimReport(const SimReport& report, std::ostream& out) {
       << "range checks: " << report.rangeChecks << '\n'
       << "result      : " << report.summary << '\n'
       << "verified    : " << (report.predicateOk ? "yes" : "NO") << '\n';
+  if (report.chaosActive) {
+    out << "chaos       : " << report.chaosFaults << " fault(s), "
+        << (report.chaosRecoveredAll ? "all recovered" : "NOT all recovered")
+        << ", worst recovery " << report.chaosMaxRecoveryRounds
+        << " round(s), worst containment " << report.chaosMaxContainment
+        << '\n';
+  }
 }
 
 }  // namespace selfstab::cli

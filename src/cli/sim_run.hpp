@@ -24,6 +24,13 @@ struct SimReport {
   std::size_t rounds = 0;  ///< whole beacon intervals elapsed (paper rounds)
   std::size_t rangeChecks = 0;  ///< exact distance tests (index diagnostic)
   std::string summary;
+
+  // Fault-campaign outcome (--chaos); see docs/ROBUSTNESS.md.
+  bool chaosActive = false;
+  std::size_t chaosFaults = 0;            ///< fault events injected
+  bool chaosRecoveredAll = false;         ///< every window re-quiesced
+  std::size_t chaosMaxRecoveryRounds = 0;
+  std::size_t chaosMaxContainment = 0;    ///< worst BFS containment radius
 };
 
 /// Runs the simulation described by `options`, printing a timeline row

@@ -127,6 +127,13 @@ class ParallelSyncRunner {
     return threadCount_;
   }
 
+  /// Rounds executed so far; mirrors SyncRunner so campaign drivers can run
+  /// either executor through the same round-indexed fault plans.
+  [[nodiscard]] std::size_t round() const noexcept { return round_; }
+  [[nodiscard]] std::uint64_t roundKey(std::size_t round) const noexcept {
+    return hashCombine(runSeed_, round);
+  }
+
  private:
   std::size_t stepDense(std::vector<State>& states) {
     const telemetry::ScopedTimer roundTimer(metrics_.roundDuration);

@@ -53,4 +53,12 @@ inline constexpr const char* kBroadcastCandidates = "broadcast_candidates";
 inline constexpr const char* kCollisionCandidates = "collision_candidates";
 inline constexpr const char* kEventQueueDepth = "event_queue_depth";
 
+// Fault campaigns (chaos::RecoveryMonitor). recovery_rounds and
+// containment_radius are histograms on the size ladder; the counters are
+// cumulative over every fault window of the run.
+inline constexpr const char* kChaosFaultsInjected = "chaos_faults_injected";
+inline constexpr const char* kRecoveryRounds = "recovery_rounds";
+inline constexpr const char* kContainmentRadius = "containment_radius";
+inline constexpr const char* kSafetyViolations = "safety_violations_total";
+
 }  // namespace selfstab::telemetry::names

@@ -265,6 +265,69 @@ TEST(Network, RoundsElapsedTracksBeaconIntervals) {
   EXPECT_NEAR(sim.roundsElapsed(), 10.0, 0.5);
 }
 
+TEST(Network, RebootChurnBitIdenticalAcrossIndexAndQueueModes) {
+  // Regression for the churn path: reboots interleaved with chaos
+  // crash/rejoin must stay bit-identical between the grid spatial index and
+  // the O(n^2) reference scan (and between the two event queues). A reboot
+  // touches the neighbor cache and dirty bits; a crash orphans the node's
+  // beacon-timer chain via the epoch counter; a rejoin re-places the node
+  // in the grid. Any RNG-stream or index desynchronization in those paths
+  // shows up here as diverging states or stats.
+  const std::size_t n = 16;
+  const auto pts = connectedPoints(n, 0.35, 11);
+  const auto ids = IdAssignment::identity(n);
+  const core::SmmProtocol smm = core::smmPaper();
+
+  NetworkConfig gridConfig;
+  gridConfig.seed = 503;
+  gridConfig.index = IndexMode::Grid;
+  gridConfig.queue = QueueMode::Calendar;
+  NetworkConfig scanConfig = gridConfig;
+  scanConfig.index = IndexMode::Scan;
+  scanConfig.queue = QueueMode::Heap;
+
+  StaticPlacement mobilityA(pts);
+  StaticPlacement mobilityB(pts);
+  NetworkSimulator<PointerState> grid(smm, ids, mobilityA, gridConfig);
+  NetworkSimulator<PointerState> scan(smm, ids, mobilityB, scanConfig);
+  grid.chaosAttach(1.0);
+  scan.chaosAttach(1.0);
+
+  const SimTime interval = gridConfig.beaconInterval;
+  const auto both = [&](auto&& mutate) {
+    mutate(grid);
+    mutate(scan);
+  };
+  SimTime t = 0;
+  const auto advance = [&](SimTime dt) {
+    t += dt;
+    grid.run(t);
+    scan.run(t);
+    ASSERT_EQ(grid.states(), scan.states()) << "t=" << t;
+    ASSERT_EQ(grid.stats(), scan.stats()) << "t=" << t;
+  };
+
+  advance(20 * interval);
+  both([](auto& sim) { sim.rebootNode(3); });
+  advance(15 * interval);
+  both([](auto& sim) { sim.chaosCrash(7); });
+  advance(15 * interval);
+  // Reboot a neighbor while 7 is down, then bring 7 back mid-churn with a
+  // fixed restart phase so both sims replay the same timeline.
+  both([](auto& sim) { sim.rebootNode(0); });
+  advance(10 * interval);
+  both([&](auto& sim) { sim.chaosRejoin(7, interval / 3); });
+  both([](auto& sim) { sim.rebootNode(7); });
+  advance(40 * interval);
+
+  EXPECT_FALSE(grid.chaosCrashed(7));
+  // Long clean tail: both sims must re-stabilize to the same matching.
+  advance(300 * interval);
+  EXPECT_GE(grid.now() - grid.lastMoveTime(), 5 * interval);
+  EXPECT_TRUE(
+      checkMatchingFixpoint(grid.currentTopology(), grid.states()).ok());
+}
+
 TEST(Network, DeterministicForFixedSeed) {
   NetworkConfig config;
   config.seed = 131;

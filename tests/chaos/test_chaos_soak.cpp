@@ -1,0 +1,101 @@
+// Chaos soak (stress tier): randomized fault campaigns against the engine
+// executors, gated on the paper's stabilization bounds per fault window —
+// SMM re-stabilizes within 2n+1 rounds and SIS within n rounds of every
+// injected fault, under both schedules.
+//
+// SELFSTAB_STRESS_ITERS scales the number of (template, seed) campaigns.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "analysis/verifiers.hpp"
+#include "chaos/campaign.hpp"
+#include "chaos/plan.hpp"
+#include "chaos/safety.hpp"
+#include "core/matching_state.hpp"
+#include "core/sis.hpp"
+#include "core/smm.hpp"
+#include "engine/sync_runner.hpp"
+#include "graph/generators.hpp"
+#include "graph/id_order.hpp"
+
+namespace selfstab::chaos {
+namespace {
+
+constexpr const char* kTemplates[] = {"churn", "crash-storm",
+                                      "rolling-partition"};
+
+std::size_t stressIters(std::size_t fallback) {
+  if (const char* env = std::getenv("SELFSTAB_STRESS_ITERS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+graph::Graph soakGraph(std::size_t n, std::uint64_t seed) {
+  Rng rng(hashCombine(seed, 0x50A4ULL));
+  return graph::connectedRandomGeometric(n, 0.35, rng);
+}
+
+template <typename State, typename Protocol, typename Sampler>
+void soakProtocol(const Protocol& protocol, Sampler sampler,
+                  const SafetyCheck<State>& safety,
+                  std::size_t (*bound)(std::size_t),
+                  bool expectNoViolations) {
+  const std::size_t iters = stressIters(6);
+  for (std::size_t iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed = 1000 + iter * 7919;
+    const std::size_t n = 10 + (iter * 5) % 21;  // 10..30 nodes
+    const char* name = kTemplates[iter % 3];
+    const FaultPlan plan = makeCampaign(name, seed, n);
+    for (const engine::Schedule schedule :
+         {engine::Schedule::Dense, engine::Schedule::Active}) {
+      graph::Graph g = soakGraph(n, seed);
+      const graph::IdAssignment ids = graph::IdAssignment::identity(n);
+      engine::SyncRunner<State> runner(protocol, g, ids, seed, schedule);
+      // Random start: faults land on a mid-convergence trajectory.
+      Rng startRng(hashCombine(seed, 0x57A7ULL));
+      std::vector<State> states;
+      for (graph::Vertex v = 0; v < n; ++v) {
+        states.push_back(sampler(v, g, startRng));
+      }
+      RecoveryMonitor monitor;
+      const CampaignResult result = runEngineCampaign(
+          runner, protocol, g, ids, states, plan,
+          hashCombine(seed, 0xC4A05ULL), bound(n), sampler, &monitor,
+          safety);
+      const auto label = [&] {
+        return std::string(name) + " seed=" + std::to_string(seed) +
+               " n=" + std::to_string(n) +
+               (schedule == engine::Schedule::Active ? " active" : " dense");
+      };
+      EXPECT_TRUE(result.recoveredAll) << label();
+      EXPECT_TRUE(result.finalFixpoint) << label();
+      for (const auto& r : monitor.records()) {
+        EXPECT_LE(r.recoveryRounds, bound(n))
+            << label() << " " << r.kind << "@" << r.at;
+        EXPECT_LE(r.containmentRadius, n) << label() << " " << r.kind;
+      }
+      if (expectNoViolations) {
+        EXPECT_EQ(result.safetyViolations, 0u) << label();
+      }
+    }
+  }
+}
+
+TEST(ChaosSoak, SmmRecoversWithinPaperBoundEverywhere) {
+  soakProtocol<core::PointerState>(
+      core::smmPaper(), &core::randomPointerState, smmSafetyCheck(),
+      [](std::size_t n) { return 2 * n + 1; }, /*expectNoViolations=*/true);
+}
+
+TEST(ChaosSoak, SisRecoversWithinPaperBoundEverywhere) {
+  soakProtocol<core::BitState>(
+      core::SisProtocol(), &core::randomBitState, sisSafetyCheck(),
+      [](std::size_t n) { return n; }, /*expectNoViolations=*/false);
+}
+
+}  // namespace
+}  // namespace selfstab::chaos

@@ -1,0 +1,235 @@
+// SimChaosController: fault plans injected into the beacon-model simulator.
+#include "chaos/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/verifiers.hpp"
+#include "chaos/plan.hpp"
+#include "core/sis.hpp"
+#include "core/smm.hpp"
+#include "graph/generators.hpp"
+
+namespace selfstab::chaos {
+namespace {
+
+using adhoc::NetworkConfig;
+using adhoc::NetworkSimulator;
+using adhoc::SimTime;
+using adhoc::StaticPlacement;
+using core::PointerState;
+
+constexpr std::uint64_t kChaosSeed = 0xC4A05ULL;
+
+std::vector<graph::Point> connectedPoints(std::size_t n, double radius,
+                                          std::uint64_t seed) {
+  graph::Rng rng(seed);
+  std::vector<graph::Point> pts;
+  graph::connectedRandomGeometric(n, radius, rng, &pts);
+  return pts;
+}
+
+struct SimOutcome {
+  std::vector<PointerState> states;
+  adhoc::NetworkStats stats;
+  std::vector<RecoveryMonitor::Record> records;
+  bool quiet = false;
+  double lossAfter = 0.0;
+  graph::Graph topo{0};
+};
+
+/// Runs SMM under `plan` over a static placement; the run continues past
+/// the plan tail until the network is quiet (or the generous budget ends).
+SimOutcome runSmmSim(const FaultPlan& plan, std::size_t n, std::uint64_t seed,
+                     adhoc::IndexMode index = adhoc::IndexMode::Grid,
+                     adhoc::QueueMode queue = adhoc::QueueMode::Calendar) {
+  NetworkConfig config;
+  config.seed = seed;
+  config.index = index;
+  config.queue = queue;
+  StaticPlacement mobility(connectedPoints(n, config.radius, seed));
+  const auto ids = graph::IdAssignment::identity(n);
+  const core::SmmProtocol smm = core::smmPaper();
+  NetworkSimulator<PointerState> sim(smm, ids, mobility, config);
+
+  RecoveryMonitor monitor;
+  SimChaosController<PointerState, decltype(&core::randomPointerState)>
+      controller(sim, plan, kChaosSeed, &core::randomPointerState,
+                 config.beaconInterval, monitor);
+
+  const SimTime budget =
+      controller.noQuietBefore() + 4000 * config.beaconInterval;
+  const auto result = sim.runUntilQuiet(5 * config.beaconInterval, budget,
+                                        controller.noQuietBefore());
+  controller.finalize();
+
+  SimOutcome out;
+  out.states = sim.states();
+  out.stats = sim.stats();
+  out.records = monitor.records();
+  out.quiet = result.quiet;
+  out.lossAfter = sim.lossProbability();
+  out.topo = sim.currentTopology();
+  return out;
+}
+
+TEST(SimInjector, EmptyPlanLeavesTrajectoryUntouched) {
+  const std::size_t n = 18;
+  // Reference: no chaos machinery at all.
+  NetworkConfig config;
+  config.seed = 31;
+  StaticPlacement mobility(connectedPoints(n, config.radius, 31));
+  const auto ids = graph::IdAssignment::identity(n);
+  const core::SmmProtocol smm = core::smmPaper();
+  NetworkSimulator<PointerState> plain(smm, ids, mobility, config);
+  const auto plainResult = plain.runUntilQuiet(5 * config.beaconInterval,
+                                               1000 * config.beaconInterval);
+  ASSERT_TRUE(plainResult.quiet);
+
+  // Same run with an inert (empty-plan) controller, and — separately — with
+  // the chaos state block attached but no events: both must be bit-identical.
+  {
+    const auto out = runSmmSim(FaultPlan{}, n, 31);
+    EXPECT_TRUE(out.quiet);
+    EXPECT_EQ(out.states, plain.states());
+    EXPECT_EQ(out.stats, plainResult.stats);
+    EXPECT_TRUE(out.records.empty());
+  }
+  {
+    StaticPlacement mobility2(connectedPoints(n, config.radius, 31));
+    NetworkSimulator<PointerState> attached(smm, ids, mobility2, config);
+    attached.chaosAttach(1.0);
+    const auto attachedResult = attached.runUntilQuiet(
+        5 * config.beaconInterval, 1000 * config.beaconInterval);
+    EXPECT_TRUE(attachedResult.quiet);
+    EXPECT_EQ(attached.states(), plain.states());
+    EXPECT_EQ(attachedResult.stats, plainResult.stats);
+  }
+}
+
+TEST(SimInjector, ChurnCampaignRecoversAndReconverges) {
+  const std::size_t n = 16;
+  const FaultPlan plan = makeCampaign("churn", 9, n);
+  const auto out = runSmmSim(plan, n, 9);
+  EXPECT_TRUE(out.quiet);
+  // Every fault window closed, recovered, one record per event (loss-burst
+  // restore ticks do not open windows of their own).
+  ASSERT_EQ(out.records.size(), plan.events.size());
+  for (const auto& r : out.records) {
+    EXPECT_TRUE(r.recovered) << r.kind << " at round " << r.at;
+  }
+  // The loss burst restored the base probability.
+  EXPECT_DOUBLE_EQ(out.lossAfter, 0.0);
+  EXPECT_TRUE(analysis::checkMatchingFixpoint(out.topo, out.states).ok());
+}
+
+TEST(SimInjector, DeterministicAcrossIndexAndQueueModes) {
+  const std::size_t n = 16;
+  const FaultPlan plan = makeCampaign("churn", 12, n);
+  const auto gridCal = runSmmSim(plan, n, 12, adhoc::IndexMode::Grid,
+                                 adhoc::QueueMode::Calendar);
+  const auto scanHeap = runSmmSim(plan, n, 12, adhoc::IndexMode::Scan,
+                                  adhoc::QueueMode::Heap);
+  const auto gridHeap = runSmmSim(plan, n, 12, adhoc::IndexMode::Grid,
+                                  adhoc::QueueMode::Heap);
+  EXPECT_EQ(gridCal.states, scanHeap.states);
+  EXPECT_EQ(gridCal.states, gridHeap.states);
+  EXPECT_EQ(gridCal.stats, scanHeap.stats);
+  EXPECT_EQ(gridCal.stats, gridHeap.stats);
+  ASSERT_EQ(gridCal.records.size(), scanHeap.records.size());
+  for (std::size_t i = 0; i < gridCal.records.size(); ++i) {
+    EXPECT_EQ(gridCal.records[i].recoveryRounds,
+              scanHeap.records[i].recoveryRounds);
+    EXPECT_EQ(gridCal.records[i].containmentRadius,
+              scanHeap.records[i].containmentRadius);
+    EXPECT_EQ(gridCal.records[i].recovered, scanHeap.records[i].recovered);
+  }
+}
+
+TEST(SimInjector, DeterministicAcrossRepeatedRuns) {
+  const std::size_t n = 14;
+  const FaultPlan plan = makeCampaign("crash-storm", 3, n);
+  const auto a = runSmmSim(plan, n, 3);
+  const auto b = runSmmSim(plan, n, 3);
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.stats, b.stats);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].recoveryRounds, b.records[i].recoveryRounds);
+    EXPECT_EQ(a.records[i].containmentRadius, b.records[i].containmentRadius);
+  }
+}
+
+TEST(SimInjector, CrashSilencesNodeUntilRejoin) {
+  // Crash node 0 and never rejoin it: its neighbors age it out of their
+  // caches and restabilize without it, while its own state stays frozen.
+  const std::size_t n = 12;
+  NetworkConfig config;
+  config.seed = 23;
+  StaticPlacement mobility(connectedPoints(n, config.radius, 23));
+  const auto ids = graph::IdAssignment::identity(n);
+  const core::SmmProtocol smm = core::smmPaper();
+  NetworkSimulator<PointerState> sim(smm, ids, mobility, config);
+
+  // Controller first: ticks must be scheduled in the queue's future.
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.at = 200;
+  crash.kind = FaultKind::Crash;
+  crash.node = 0;
+  plan.events.push_back(crash);
+  RecoveryMonitor monitor;
+  SimChaosController<PointerState, decltype(&core::randomPointerState)>
+      controller(sim, plan, kChaosSeed, &core::randomPointerState,
+                 config.beaconInterval, monitor);
+
+  // Phase 1: converge well before the crash fires; static placement and
+  // zero loss mean the state is then unchanged until the fault tick.
+  ASSERT_TRUE(sim.runUntilQuiet(5 * config.beaconInterval,
+                                190 * config.beaconInterval)
+                  .quiet);
+  const PointerState frozen = sim.states()[0];
+
+  sim.runUntilQuiet(5 * config.beaconInterval,
+                    400 * config.beaconInterval,
+                    controller.noQuietBefore());
+  controller.finalize();
+
+  EXPECT_TRUE(sim.chaosCrashed(0));
+  EXPECT_EQ(sim.states()[0], frozen);
+  // Survivors form a valid matching among themselves: no live pointer may
+  // still target the crashed node after its cache entries expired.
+  for (graph::Vertex v = 1; v < n; ++v) {
+    EXPECT_NE(sim.states()[v].ptr, 0u) << "node " << v;
+  }
+}
+
+TEST(SimInjector, SisSurvivesRollingPartition) {
+  const std::size_t n = 15;
+  NetworkConfig config;
+  config.seed = 41;
+  StaticPlacement mobility(connectedPoints(n, config.radius, 41));
+  const auto ids = graph::IdAssignment::identity(n);
+  const core::SisProtocol sis;
+  NetworkSimulator<core::BitState> sim(sis, ids, mobility, config);
+
+  const FaultPlan plan = makeCampaign("rolling-partition", 2, n);
+  RecoveryMonitor monitor;
+  SimChaosController<core::BitState, decltype(&core::randomBitState)>
+      controller(sim, plan, kChaosSeed, &core::randomBitState,
+                 config.beaconInterval, monitor);
+  const auto result = sim.runUntilQuiet(
+      5 * config.beaconInterval,
+      controller.noQuietBefore() + 4000 * config.beaconInterval,
+      controller.noQuietBefore());
+  controller.finalize();
+
+  ASSERT_TRUE(result.quiet);
+  EXPECT_EQ(monitor.records().size(), plan.events.size());
+  EXPECT_TRUE(analysis::isMaximalIndependentSet(
+      sim.currentTopology(), analysis::membersOf(sim.states())));
+}
+
+}  // namespace
+}  // namespace selfstab::chaos
