@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Sub-minute perf smoke: runs only the micro_kernels acceptance gate (flat
+# SIS evaluation >= 3x generic on power-law + geometric graphs, plus the
+# recorded SMM speedup) at SELFSTAB_SMOKE scale, skipping all timed
+# google-benchmark cases. Use it for a quick signal that a change did not
+# destroy kernel throughput without paying for the full bench sweep.
+#
+#   scripts/bench_smoke.sh [build-dir]
+#
+# Honors SELFSTAB_BENCH_JSON if the caller wants the smoke-scale rows
+# appended somewhere; leaves it unset otherwise so smoke numbers never
+# pollute the committed BENCH_PR*.json files.
+set -eu
+
+BUILD_DIR="${1:-build}"
+MICRO="$BUILD_DIR/bench/micro_kernels"
+
+if [ ! -x "$MICRO" ]; then
+  echo "bench_smoke.sh: $MICRO not built (build the bench targets first)" >&2
+  exit 1
+fi
+
+# Gate-only: main() runs the hard gate and exits before the benchmark
+# runner ever starts.
+SELFSTAB_SMOKE=1 SELFSTAB_GATE_ONLY=1 "$MICRO"

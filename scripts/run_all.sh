@@ -20,6 +20,11 @@ cmake --build "$BUILD_DIR"
 ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 \
   | tee "$ROOT/test_output.txt"
 
+# Fast perf sanity before the expensive passes: the micro_kernels gate at
+# smoke scale (<60s). A kernel-throughput regression fails here in seconds
+# instead of at the end of the full bench sweep.
+sh "$ROOT/scripts/bench_smoke.sh" "$BUILD_DIR"
+
 # ThreadSanitizer pass over the concurrency-sensitive suites: the telemetry
 # instruments (lock-free counters shared by the worker pool), the parallel
 # runner itself, and the parallel active-set differential tests (per-worker
@@ -31,6 +36,8 @@ cmake --build "$TSAN_DIR" --target telemetry_tests engine_tests stress_tests
 {
   "$TSAN_DIR/tests/telemetry_tests"
   "$TSAN_DIR/tests/engine_tests" --gtest_filter='ParallelRunner.*'
+  # '*Parallel*' picks up KernelDifferentialParallel too: the flat kernels'
+  # shared CSR mirror and per-worker scratch run under the pool here.
   SELFSTAB_STRESS_ITERS="${SELFSTAB_TSAN_STRESS_ITERS:-3}" \
     "$TSAN_DIR/tests/stress_tests" --gtest_filter='*Parallel*'
   # Chaos soak under TSan: engine campaigns replay on the parallel runner
@@ -52,6 +59,11 @@ cmake --build "$ASAN_DIR" --target adhoc_tests stress_tests
   "$ASAN_DIR/tests/adhoc_tests"
   SELFSTAB_STRESS_ITERS="${SELFSTAB_ASAN_STRESS_ITERS:-3}" \
     "$ASAN_DIR/tests/stress_tests" --gtest_filter='NetworkDifferential*'
+  # Flat-kernel differential under ASan: the SoA mirrors index raw CSR
+  # offsets and (word,mask) bitset slices — exactly where an off-by-one
+  # would read out of bounds while still passing the bit-identity check.
+  SELFSTAB_STRESS_ITERS="${SELFSTAB_ASAN_STRESS_ITERS:-3}" \
+    "$ASAN_DIR/tests/stress_tests" --gtest_filter='KernelDifferential.*'
   # Chaos soak under ASan: crash/rejoin churn and partition masks rebuild
   # graph edge lists and neighbor caches in place — the fault campaigns
   # exercise exactly the compaction paths ASan is here to police.
@@ -60,10 +72,12 @@ cmake --build "$ASAN_DIR" --target adhoc_tests stress_tests
 } 2>&1 | tee "$ROOT/asan_output.txt"
 
 # Benches append machine-readable results here (see
-# bench/support/bench_json.hpp); the PR 3 perf gates live in scale_network
-# and the PR 4 chaos gates (overhead, determinism, recovery bounds) in
-# soak_chaos.
-BENCH_JSON="$ROOT/BENCH_PR4.json"
+# bench/support/bench_json.hpp). The file name tracks the PR number, which
+# equals the CHANGES.md line count (one line per landed PR): the PR 3 perf
+# gates live in scale_network, the PR 4 chaos gates in soak_chaos, and the
+# PR 5 kernel gates in micro_kernels.
+PR_NUM="$(wc -l < "$ROOT/CHANGES.md" | tr -d ' ')"
+BENCH_JSON="$ROOT/BENCH_PR${PR_NUM}.json"
 : > "$BENCH_JSON"
 export SELFSTAB_BENCH_JSON="$BENCH_JSON"
 

@@ -39,6 +39,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -52,6 +53,7 @@
 #include "adhoc/mobility.hpp"
 #include "adhoc/sim_modes.hpp"
 #include "adhoc/sim_time.hpp"
+#include "engine/kernel.hpp"
 #include "engine/protocol.hpp"
 #include "engine/schedule.hpp"
 #include "graph/geometry.hpp"
@@ -264,10 +266,29 @@ class NetworkSimulator {
     // histogram tracks in the beacon model.
     metrics_.roundDuration = &registry->histogram(
         names::kRoundDuration, telemetry::durationBuckets());
+    metrics_.evaluationsPerSecond =
+        &registry->gauge(names::kEvaluationsPerSecond);
+  }
+
+  /// Installs a devirtualized view kernel (core/kernels.hpp) for rule
+  /// evaluation; nullptr reverts to Protocol::onRound. The simulator has no
+  /// static graph to mirror, so it uses the view-level kernel tier —
+  /// decisions are bit-identical by construction (kernel and protocol share
+  /// the same rule code). Caller keeps ownership; the kernel must outlive
+  /// the simulator or be detached first.
+  void setViewKernel(const engine::ViewKernel<State>* kernel) noexcept {
+    viewKernel_ = kernel;
+  }
+
+  /// Which evaluation path rule evaluation is on.
+  [[nodiscard]] engine::Kernel kernel() const noexcept {
+    return viewKernel_ != nullptr ? engine::Kernel::Flat
+                                  : engine::Kernel::Generic;
   }
 
   /// Runs until simulated time `until`.
   void run(SimTime until) {
+    const EvalRateScope rate(metrics_, stats_);
     while (!queue_.empty() && queue_.nextTime() <= until) {
       dispatch(queue_.pop());
     }
@@ -281,6 +302,7 @@ class NetworkSimulator {
   QuietResult runUntilQuiet(SimTime quietWindow, SimTime maxTime,
                             SimTime noQuietBefore = 0) {
     QuietResult result;
+    const EvalRateScope rate(metrics_, stats_);
     while (!queue_.empty() && queue_.nextTime() <= maxTime) {
       dispatch(queue_.pop());
       if (queue_.now() >= noQuietBefore &&
@@ -615,7 +637,8 @@ class NetworkSimulator {
       view.roundKey = hashCombine(config_.seed,
                                   static_cast<std::uint64_t>(
                                       now / config_.beaconInterval));
-      if (auto next = protocol_->onRound(view)) {
+      if (auto next = viewKernel_ != nullptr ? viewKernel_->evaluateView(view)
+                                             : protocol_->onRound(view)) {
         node.state = std::move(*next);
         node.dirty = true;  // own state is part of the view
         ++stats_.moves;
@@ -845,6 +868,42 @@ class NetworkSimulator {
     telemetry::Histogram* collisionCandidates = nullptr;
     telemetry::Histogram* queueDepth = nullptr;
     telemetry::Histogram* roundDuration = nullptr;
+    telemetry::Gauge* evaluationsPerSecond = nullptr;
+  };
+
+  // Times one drive call (run / runUntilQuiet) into the
+  // evaluations_per_second gauge, mirroring the round executors'
+  // EvalStopwatch. Wall-clock rates are metrics-only: reports and the
+  // event log stay byte-reproducible across kernels and index/queue
+  // modes. No registry attached -> no clock reads at all.
+  class EvalRateScope {
+   public:
+    EvalRateScope(const Metrics& metrics, const NetworkStats& stats)
+        : metrics_(metrics), stats_(stats) {
+      if (metrics_.evaluationsPerSecond != nullptr) {
+        startEvals_ = stats_.ruleEvaluations;
+        start_ = std::chrono::steady_clock::now();
+      }
+    }
+    EvalRateScope(const EvalRateScope&) = delete;
+    EvalRateScope& operator=(const EvalRateScope&) = delete;
+    ~EvalRateScope() {
+      if (metrics_.evaluationsPerSecond == nullptr) return;
+      const double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start_)
+                                 .count();
+      const std::size_t evaluated = stats_.ruleEvaluations - startEvals_;
+      if (seconds > 0.0 && evaluated > 0) {
+        metrics_.evaluationsPerSecond->set(static_cast<double>(evaluated) /
+                                           seconds);
+      }
+    }
+
+   private:
+    const Metrics& metrics_;
+    const NetworkStats& stats_;
+    std::size_t startEvals_ = 0;
+    std::chrono::steady_clock::time_point start_;
   };
 
   /// Fault-campaign state. Allocated only by chaosAttach(): a null pointer
@@ -866,6 +925,7 @@ class NetworkSimulator {
   };
 
   const engine::Protocol<State>* protocol_;
+  const engine::ViewKernel<State>* viewKernel_ = nullptr;
   const graph::IdAssignment* ids_;
   Mobility* mobility_;
   NetworkConfig config_;

@@ -17,7 +17,11 @@ int main(int argc, char** argv) {
       return 0;
     }
     const Report report = execute(options, std::cout);
-    printReport(report, std::cout);
+    if (options.json) {
+      printReportJson(report, std::cout);
+    } else {
+      printReport(report, std::cout);
+    }
     // Non-stabilization is only "success" for the counterexample protocol,
     // where a certified livelock is the expected outcome.
     if (options.protocol == ProtocolKind::SmmArbitrary &&

@@ -168,6 +168,19 @@ Options parseOptions(const std::vector<std::string>& args) {
       } else {
         fail("unknown schedule '" + value + "'");
       }
+    } else if (arg == "--kernel") {
+      const std::string value = next(i, arg);
+      if (value == "auto") {
+        options.kernel = engine::KernelMode::Auto;
+      } else if (value == "generic") {
+        options.kernel = engine::KernelMode::Generic;
+      } else if (value == "flat") {
+        options.kernel = engine::KernelMode::Flat;
+      } else {
+        fail("unknown kernel '" + value + "'");
+      }
+    } else if (arg == "--json") {
+      options.json = true;
     } else if (arg == "--trace") {
       options.trace = true;
     } else if (arg == "--dot") {
@@ -206,6 +219,9 @@ usage: selfstab [options]
   --max-rounds    round budget (0 = protocol-appropriate)     [default: 0]
   --schedule      dense | active (evaluate only dirty nodes;
                   trajectory is bit-identical)                [default: dense]
+  --kernel        auto | generic | flat (compiled SoA fast path for
+                  smm/sis; trajectory is bit-identical)       [default: auto]
+  --json          print the run report as one JSON object
   --trace         print per-round progress
   --dot PATH      write the final graph + solution as Graphviz DOT
   --csv PATH      write a per-round CSV trace (round, moves, size)

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/kernel.hpp"
 #include "engine/schedule.hpp"
 
 namespace selfstab::cli {
@@ -61,7 +62,9 @@ struct Options {
   std::uint64_t seed = 1;
   std::size_t maxRounds = 0;  ///< 0 = auto (protocol-appropriate bound)
   engine::Schedule schedule = engine::Schedule::Dense;  ///< --schedule
+  engine::KernelMode kernel = engine::KernelMode::Auto;  ///< --kernel
   bool trace = false;         ///< per-round progress lines
+  bool json = false;          ///< print the report as one JSON object
   std::string dotPath;        ///< write final graph+solution as DOT
   std::string csvPath;        ///< write a per-round CSV trace
   std::string saveGraphPath;  ///< write the topology as an edge list

@@ -15,6 +15,7 @@
 #include "core/bfs_tree.hpp"
 #include "core/coloring.hpp"
 #include "core/dominating_set.hpp"
+#include "core/kernels.hpp"
 #include "core/local_mutex.hpp"
 #include "core/sis.hpp"
 #include "core/smm.hpp"
@@ -23,6 +24,7 @@
 #include "engine/sync_runner.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "telemetry/json.hpp"
 
 namespace selfstab::cli {
 
@@ -72,6 +74,33 @@ void maybeWriteDot(const Options& options, const Graph& g,
   writeAnnotatedDot(file, g, vertexAttrs, edgeAttrs);
 }
 
+/// Installs the compiled SoA kernel on the runner per --kernel and records
+/// the path actually taken in the report. Auto silently falls back to the
+/// generic LocalView path for protocols without a kernel; an explicit
+/// `--kernel flat` there is a usage error. The graph reference must be the
+/// one the runner itself iterates (the mutable chaos copy under --chaos), so
+/// the kernel's topology mirror tracks the same edge masking.
+template <typename State>
+void installKernel(engine::SyncRunner<State>& runner,
+                   const engine::Protocol<State>& protocol, const Graph& g,
+                   const IdAssignment& ids, const Options& options,
+                   Report& report) {
+  report.schedule = std::string(engine::toString(options.schedule));
+  report.kernel = std::string(engine::toString(engine::Kernel::Generic));
+  if (options.kernel == engine::KernelMode::Generic) return;
+  auto kernel = core::makeFlatKernel<State>(protocol, g, ids);
+  if (kernel == nullptr) {
+    if (options.kernel == engine::KernelMode::Flat) {
+      throw CliError("--kernel flat: protocol '" +
+                     std::string(protocol.name()) +
+                     "' has no flat kernel (try --kernel auto)");
+    }
+    return;
+  }
+  runner.setKernel(std::move(kernel));
+  report.kernel = std::string(engine::toString(engine::Kernel::Flat));
+}
+
 /// Shared driver: runs `protocol` from the configured start, tracing if
 /// requested; fills the run-related Report fields. `metric` maps a
 /// configuration to the solution size recorded in the CSV trace (matched
@@ -94,6 +123,7 @@ std::vector<State> drive(const Options& options, const Sinks& sinks,
     engine::SyncRunner<State> runner(protocol, effective, ids, options.seed,
                                      options.schedule);
     runner.attachTelemetry(sinks.registry, sinks.events);
+    installKernel(runner, protocol, effective, ids, options, report);
     std::vector<State> states;
     if (options.start == StartKind::Clean) {
       states = runner.initialStates();
@@ -130,6 +160,7 @@ std::vector<State> drive(const Options& options, const Sinks& sinks,
   engine::SyncRunner<State> runner(protocol, g, ids, options.seed,
                                    options.schedule);
   runner.attachTelemetry(sinks.registry, sinks.events);
+  installKernel(runner, protocol, g, ids, options, report);
   std::vector<State> states;
   if (options.start == StartKind::Clean) {
     states = runner.initialStates();
@@ -482,9 +513,10 @@ Report execute(const Options& options, std::ostream& out) {
   const IdAssignment ids = buildIds(options.idOrder, g.order(), options.seed);
 
   // Telemetry is opt-in: with neither flag given the runners see null sinks
-  // and instrument nothing.
+  // and instrument nothing. --json also needs a registry, to harvest the
+  // evaluations_per_second gauge into the report.
   std::optional<telemetry::Registry> registry;
-  if (!options.metricsPath.empty()) registry.emplace();
+  if (!options.metricsPath.empty() || options.json) registry.emplace();
   EventSink events(options.eventsPath, out);
   Sinks sinks{registry.has_value() ? &*registry : nullptr, events.get()};
 
@@ -514,7 +546,11 @@ Report execute(const Options& options, std::ostream& out) {
   report.n = g.order();
   report.m = g.size();
   if (registry.has_value()) {
-    writeMetricsDump(*registry, options.metricsPath, out);
+    report.evaluationsPerSecond =
+        registry->gaugeValue(telemetry::names::kEvaluationsPerSecond);
+    if (!options.metricsPath.empty()) {
+      writeMetricsDump(*registry, options.metricsPath, out);
+    }
   }
   return report;
 }
@@ -526,8 +562,12 @@ void printReport(const Report& report, std::ostream& out) {
   if (report.livelockCertified) out << " (livelock certified: configuration repeats)";
   out << '\n'
       << "rounds      : " << report.rounds << '\n'
-      << "moves       : " << report.moves << '\n'
-      << "result      : " << report.summary << '\n'
+      << "moves       : " << report.moves << '\n';
+  if (!report.kernel.empty()) {
+    out << "kernel      : " << report.kernel << " (" << report.schedule
+        << " schedule)\n";
+  }
+  out << "result      : " << report.summary << '\n'
       << "verified    : " << (report.predicateOk ? "yes" : "NO") << '\n';
   if (report.chaosActive) {
     out << "chaos       : " << report.chaosFaults << " fault(s), "
@@ -536,6 +576,35 @@ void printReport(const Report& report, std::ostream& out) {
         << " round(s), worst containment " << report.chaosMaxContainment
         << ", safety violations " << report.chaosSafetyViolations << '\n';
   }
+}
+
+void printReportJson(const Report& report, std::ostream& out) {
+  telemetry::JsonWriter w(out);
+  w.beginObject();
+  w.key("protocol").value(report.protocol);
+  w.key("n").value(static_cast<std::uint64_t>(report.n));
+  w.key("m").value(static_cast<std::uint64_t>(report.m));
+  w.key("rounds").value(static_cast<std::uint64_t>(report.rounds));
+  w.key("moves").value(static_cast<std::uint64_t>(report.moves));
+  w.key("stabilized").value(report.stabilized);
+  w.key("livelockCertified").value(report.livelockCertified);
+  w.key("predicateOk").value(report.predicateOk);
+  w.key("kernel").value(report.kernel);
+  w.key("schedule").value(report.schedule);
+  w.key("evaluationsPerSecond").value(report.evaluationsPerSecond);
+  w.key("summary").value(report.summary);
+  if (report.chaosActive) {
+    w.key("chaosFaults").value(static_cast<std::uint64_t>(report.chaosFaults));
+    w.key("chaosRecoveredAll").value(report.chaosRecoveredAll);
+    w.key("chaosMaxRecoveryRounds")
+        .value(static_cast<std::uint64_t>(report.chaosMaxRecoveryRounds));
+    w.key("chaosMaxContainment")
+        .value(static_cast<std::uint64_t>(report.chaosMaxContainment));
+    w.key("chaosSafetyViolations")
+        .value(static_cast<std::uint64_t>(report.chaosSafetyViolations));
+  }
+  w.endObject();
+  out << '\n';
 }
 
 }  // namespace selfstab::cli

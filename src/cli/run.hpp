@@ -20,6 +20,9 @@ struct Report {
   bool stabilized = false;
   bool livelockCertified = false;  ///< deterministic revisit detected
   bool predicateOk = false;
+  std::string kernel;    ///< evaluation path taken: "flat" or "generic"
+  std::string schedule;  ///< "dense" or "active"
+  double evaluationsPerSecond = 0.0;  ///< last-round rate (0 = not measured)
   std::string summary;  ///< e.g. "maximal matching: 12 pairs"
 
   // Fault-campaign outcome (--chaos); see docs/ROBUSTNESS.md.
@@ -47,5 +50,8 @@ struct Report {
 
 /// Renders the report in the CLI's human-readable format.
 void printReport(const Report& report, std::ostream& out);
+
+/// Machine-readable form of the same report: one JSON object (--json).
+void printReportJson(const Report& report, std::ostream& out);
 
 }  // namespace selfstab::cli

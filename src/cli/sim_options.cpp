@@ -104,6 +104,17 @@ SimOptions parseSimOptions(const std::vector<std::string>& args) {
       } else {
         fail("unknown schedule '" + value + "'");
       }
+    } else if (arg == "--kernel") {
+      const std::string value = next(i, arg);
+      if (value == "auto") {
+        options.kernel = engine::KernelMode::Auto;
+      } else if (value == "generic") {
+        options.kernel = engine::KernelMode::Generic;
+      } else if (value == "flat") {
+        options.kernel = engine::KernelMode::Flat;
+      } else {
+        fail("unknown kernel '" + value + "'");
+      }
     } else if (arg == "--index") {
       const std::string value = next(i, arg);
       if (value == "grid") {
@@ -177,6 +188,8 @@ usage: selfstab-sim [options]
   --timeout-factor neighbor expiry in beacon intervals   [default: 2.5]
   --schedule       dense | active (skip rule evaluation
                    on nodes whose view is unchanged)     [default: dense]
+  --kernel         auto | generic | flat (devirtualized rule
+                   evaluation for smm/sis; bit-identical)  [default: auto]
   --index          grid | scan spatial index for radio
                    fan-out (bit-identical results; scan
                    is the O(n^2) reference)              [default: grid]

@@ -10,6 +10,7 @@
 #include "adhoc/sim_modes.hpp"
 #include "adhoc/sim_time.hpp"
 #include "cli/options.hpp"  // CliError
+#include "engine/kernel.hpp"
 
 namespace selfstab::cli {
 
@@ -27,6 +28,7 @@ struct SimOptions {
   adhoc::SimTime collisionWindow = 0;
   double timeoutFactor = 2.5;
   engine::Schedule schedule = engine::Schedule::Dense;  ///< --schedule
+  engine::KernelMode kernel = engine::KernelMode::Auto;  ///< --kernel
   adhoc::IndexMode index = adhoc::IndexMode::Grid;      ///< --index
   adhoc::QueueMode queue = adhoc::QueueMode::Calendar;  ///< --queue
 

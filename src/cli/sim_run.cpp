@@ -12,6 +12,7 @@
 #include "chaos/monitors.hpp"
 #include "chaos/plan.hpp"
 #include "cli/metrics_io.hpp"
+#include "core/kernels.hpp"
 #include "core/leader_tree.hpp"
 #include "core/sis.hpp"
 #include "core/smm.hpp"
@@ -66,6 +67,21 @@ SimReport driveSim(const SimOptions& options, telemetry::Registry* registry,
                                      makeConfig(options));
   sim.attachTelemetry(registry, events);
 
+  // Devirtualized rule evaluation (--kernel): the simulator has no static
+  // graph to mirror, so it takes the view-level kernel — same shared rule
+  // code as Protocol::onRound, minus the vtable hop. Auto falls back to the
+  // generic path for protocols without one.
+  std::unique_ptr<engine::ViewKernel<State>> viewKernel;
+  if (options.kernel != engine::KernelMode::Generic) {
+    viewKernel = core::makeViewKernel<State>(protocol);
+    if (viewKernel == nullptr && options.kernel == engine::KernelMode::Flat) {
+      throw CliError("--kernel flat: protocol '" +
+                     std::string(protocol.name()) +
+                     "' has no flat kernel (try --kernel auto)");
+    }
+  }
+  sim.setViewKernel(viewKernel.get());
+
   // Fault campaign: with no --chaos the plan is empty and the controller is
   // inert — the trajectory is bit-identical to a build without it.
   chaos::FaultPlan plan;
@@ -113,6 +129,7 @@ SimReport driveSim(const SimOptions& options, telemetry::Registry* registry,
 
   SimReport report;
   report.protocol = std::string(protocol.name());
+  report.kernel = std::string(engine::toString(sim.kernel()));
   report.nodes = options.nodes;
   report.endTime = sim.now();
   report.quiet =
@@ -238,6 +255,7 @@ void printSimReportJson(const SimReport& report, std::ostream& out) {
   telemetry::JsonWriter w(out);
   w.beginObject();
   w.key("protocol").value(report.protocol);
+  w.key("kernel").value(report.kernel);
   w.key("nodes").value(static_cast<std::uint64_t>(report.nodes));
   w.key("endTimeUs").value(static_cast<std::int64_t>(report.endTime));
   w.key("rounds").value(static_cast<std::uint64_t>(report.rounds));
@@ -270,6 +288,7 @@ void printSimReportJson(const SimReport& report, std::ostream& out) {
 
 void printSimReport(const SimReport& report, std::ostream& out) {
   out << "protocol    : " << report.protocol << '\n'
+      << "kernel      : " << report.kernel << '\n'
       << "hosts       : " << report.nodes << '\n'
       << "sim time    : " << std::fixed << std::setprecision(1)
       << static_cast<double>(report.endTime) /

@@ -10,6 +10,7 @@ namespace selfstab::cli {
 
 struct SimReport {
   std::string protocol;
+  std::string kernel;  ///< evaluation path taken: "flat" or "generic"
   std::size_t nodes = 0;
   adhoc::SimTime endTime = 0;
   bool quiet = false;        ///< no state change for the quiet window

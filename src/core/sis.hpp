@@ -38,6 +38,28 @@ enum class Seniority {
   SmallerIdWins,  ///< j is bigger than i iff id(j) < id(i)
 };
 
+[[nodiscard]] constexpr bool sisBigger(Seniority seniority, graph::Id a,
+                                       graph::Id b) noexcept {
+  return seniority == Seniority::LargerIdWins ? a > b : a < b;
+}
+
+/// The SIS rule evaluation over a view, shared verbatim by the protocol
+/// object and the flat kernel (core/sis_kernel.hpp) so both paths are the
+/// same code and bit-identity is by construction.
+[[nodiscard]] inline std::optional<BitState> sisEvaluateView(
+    const engine::LocalView<BitState>& view, Seniority seniority) {
+  bool biggerNeighborIn = false;
+  for (const auto& nbr : view.neighbors) {
+    if (nbr.state->in && sisBigger(seniority, nbr.id, view.selfId)) {
+      biggerNeighborIn = true;
+      break;
+    }
+  }
+  if (!view.state().in && !biggerNeighborIn) return BitState{true};   // R1
+  if (view.state().in && biggerNeighborIn) return BitState{false};    // R2
+  return std::nullopt;
+}
+
 class SisProtocol final : public engine::Protocol<BitState> {
  public:
   explicit SisProtocol(Seniority seniority = Seniority::LargerIdWins)
@@ -47,27 +69,16 @@ class SisProtocol final : public engine::Protocol<BitState> {
 
   [[nodiscard]] std::optional<BitState> onRound(
       const engine::LocalView<BitState>& view) const override {
-    bool biggerNeighborIn = false;
-    for (const auto& nbr : view.neighbors) {
-      if (nbr.state->in && bigger(nbr.id, view.selfId)) {
-        biggerNeighborIn = true;
-        break;
-      }
-    }
-    if (!view.state().in && !biggerNeighborIn) return BitState{true};   // R1
-    if (view.state().in && biggerNeighborIn) return BitState{false};    // R2
-    return std::nullopt;
+    return sisEvaluateView(view, seniority_);
   }
 
   [[nodiscard]] BitState initialState(graph::Vertex) const override {
     return BitState{false};
   }
 
- private:
-  [[nodiscard]] bool bigger(graph::Id a, graph::Id b) const noexcept {
-    return seniority_ == Seniority::LargerIdWins ? a > b : a < b;
-  }
+  [[nodiscard]] Seniority seniority() const noexcept { return seniority_; }
 
+ private:
   Seniority seniority_;
 };
 

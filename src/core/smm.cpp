@@ -80,6 +80,11 @@ SmmProtocol::SmmProtocol(Choice propose, Choice accept)
 
 std::optional<PointerState> SmmProtocol::onRound(
     const LocalView<PointerState>& view) const {
+  return smmEvaluateView(view, propose_, accept_);
+}
+
+std::optional<PointerState> smmEvaluateView(
+    const LocalView<PointerState>& view, Choice propose_, Choice accept_) {
   const PointerState& self = view.state();
 
   if (self.isNull()) {

@@ -33,6 +33,13 @@ enum class Choice {
 
 [[nodiscard]] std::string_view toString(Choice choice) noexcept;
 
+/// The SMM rule evaluation over a view, shared verbatim by the protocol
+/// object and the flat kernel (core/smm_kernel.hpp) so both paths are the
+/// same code and bit-identity is by construction.
+[[nodiscard]] std::optional<PointerState> smmEvaluateView(
+    const engine::LocalView<PointerState>& view, Choice propose,
+    Choice accept);
+
 /// The SMM rule evaluator, parameterized by selection policies.
 class SmmProtocol final : public engine::Protocol<PointerState> {
  public:

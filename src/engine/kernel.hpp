@@ -1,0 +1,117 @@
+// Compiled fast-path kernels for protocol round evaluation.
+//
+// The generic path pays per-node LocalView assembly, a virtual
+// Protocol::onRound call, and a const State* chase per neighbor. For the
+// paper's two flagship protocols (SMM, SIS) the whole round is a pure map
+// over flat data, so a per-protocol kernel can evaluate it directly off the
+// CSR adjacency (engine/topology.hpp) and structure-of-arrays state — no
+// views, no virtual dispatch in the inner loop, no pointer indirection.
+//
+// Two layers:
+//  * ViewKernel  — devirtualized single-view evaluation, bit-identical to
+//    Protocol::onRound. This is what the beacon simulator uses (it has no
+//    static graph to mirror, only per-node caches).
+//  * FlatKernel  — adds the SoA mirror plus whole-range / dirty-list batch
+//    evaluation for the round executors. sync() reloads the mirror from the
+//    authoritative state vector (and refreshes topology); apply() patches a
+//    single slot so the Active schedule can keep the mirror hot between
+//    rounds.
+//
+// Contract: every kernel must produce the exact same decision as the
+// protocol object it mirrors, for every view — same moves, same resulting
+// states, same fixpoint behavior. The KernelDifferential stress suite
+// enforces this bit-identity across both executors and both schedules; see
+// docs/PERFORMANCE.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "engine/protocol.hpp"
+#include "graph/graph.hpp"
+
+namespace selfstab::engine {
+
+/// Which evaluation path a runner is on. Generic = LocalView + virtual
+/// onRound; Flat = SoA kernel batch evaluation.
+enum class Kernel : std::uint8_t { Generic, Flat };
+
+/// CLI-facing selection: Auto picks Flat when the protocol has a kernel
+/// (SMM, SIS) and falls back to Generic otherwise.
+enum class KernelMode : std::uint8_t { Auto, Generic, Flat };
+
+[[nodiscard]] constexpr std::string_view toString(Kernel k) noexcept {
+  return k == Kernel::Flat ? "flat" : "generic";
+}
+
+[[nodiscard]] constexpr std::string_view toString(KernelMode m) noexcept {
+  switch (m) {
+    case KernelMode::Generic:
+      return "generic";
+    case KernelMode::Flat:
+      return "flat";
+    case KernelMode::Auto:
+      break;
+  }
+  return "auto";
+}
+
+/// Batch output: (vertex, new state) pairs, matching the runners' pending
+/// queues so results splice in without conversion.
+template <typename State>
+using MoveList = std::vector<std::pair<graph::Vertex, State>>;
+
+/// Devirtualized per-view evaluation, bit-identical to Protocol::onRound.
+template <typename State>
+class ViewKernel {
+ public:
+  ViewKernel() = default;
+  ViewKernel(const ViewKernel&) = delete;
+  ViewKernel& operator=(const ViewKernel&) = delete;
+  virtual ~ViewKernel() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  [[nodiscard]] virtual std::optional<State> evaluateView(
+      const LocalView<State>& view) const = 0;
+};
+
+/// Whole-round evaluation over CSR adjacency + structure-of-arrays state.
+///
+/// Usage by a runner:
+///   * Dense rounds: sync(states) once per round (the snapshot phase), then
+///     evaluateRange over [0, n) — possibly chunked across workers.
+///   * Active rounds: sync(states) on (re)seed, evaluateList over the dirty
+///     set, then apply(v, next) for each committed move so the mirror stays
+///     current without a full reload.
+/// evaluateRange/evaluateList are const and touch only the mirror, so
+/// disjoint chunks may be evaluated concurrently.
+template <typename State>
+class FlatKernel : public ViewKernel<State> {
+ public:
+  /// Refreshes the topology mirror and reloads the whole SoA state mirror
+  /// from the authoritative vector. Handles external state edits (fault
+  /// injection) and graph mutation exactly like the generic path's full
+  /// snapshot copy.
+  virtual void sync(const std::vector<State>& states) = 0;
+
+  /// Patches one slot of the SoA mirror after a committed move.
+  virtual void apply(graph::Vertex v, const State& s) = 0;
+
+  /// Evaluates every vertex in [begin, end), appending moves to out.
+  virtual void evaluateRange(graph::Vertex begin, graph::Vertex end,
+                             std::uint64_t roundKey,
+                             MoveList<State>& out) const = 0;
+
+  /// Evaluates exactly the given vertices (ascending, as ActiveSet yields
+  /// them), appending moves to out.
+  virtual void evaluateList(std::span<const graph::Vertex> vertices,
+                            std::uint64_t roundKey,
+                            MoveList<State>& out) const = 0;
+};
+
+}  // namespace selfstab::engine

@@ -3,11 +3,14 @@
 // The synchronous model is embarrassingly parallel within a round: every
 // node's rule reads only the immutable snapshot S_t and writes only its own
 // slot of S_{t+1}. ParallelSyncRunner exploits that with a persistent worker
-// pool and static vertex partitioning, producing *bit-identical*
+// pool and degree-weighted contiguous vertex partitioning (weight deg(v)+1,
+// so power-law hubs spread across workers), producing *bit-identical*
 // trajectories to SyncRunner (same snapshot, same rules, no scheduling
 // freedom) — the tests assert exact agreement. Intended for simulating
 // large networks; on small n the barrier overhead dominates and the serial
-// runner wins.
+// runner wins. Rounds evaluate through either the generic LocalView path or
+// a flat protocol kernel (setKernel); fixpoint sweeps always use the pool
+// with an early-exit flag.
 //
 // Protocols must be thread-compatible: onRound() is logically const and may
 // be invoked concurrently for different vertices. Protocols with mutable
@@ -21,12 +24,15 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "engine/kernel.hpp"
 #include "engine/protocol.hpp"
 #include "engine/runner_telemetry.hpp"
 #include "engine/schedule.hpp"
@@ -97,6 +103,21 @@ class ParallelSyncRunner {
 
   [[nodiscard]] Schedule schedule() const noexcept { return schedule_; }
 
+  /// Installs a flat protocol kernel (core/kernels.hpp); nullptr reverts to
+  /// the generic path. Goes through the worker mutex like attachTelemetry:
+  /// safe between rounds, not while step() is in flight. Trajectories stay
+  /// bit-identical to the generic path and to SyncRunner on either setting.
+  void setKernel(std::unique_ptr<FlatKernel<State>> kernel) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    kernel_ = std::move(kernel);
+    scheduleValid_ = false;
+  }
+
+  /// Which evaluation path step() is on.
+  [[nodiscard]] Kernel kernel() const noexcept {
+    return kernel_ != nullptr ? Kernel::Flat : Kernel::Generic;
+  }
+
   /// Runs until fixpoint or maxRounds; same contract as SyncRunner::run
   /// (fixpoint = zero moves and every node isStable).
   RunResult run(std::vector<State>& states, std::size_t maxRounds) {
@@ -114,13 +135,38 @@ class ParallelSyncRunner {
     return result;
   }
 
+  /// Dispatches the stability sweep across the worker pool (degree-weighted
+  /// chunks, shared early-exit flag) instead of the old full serial scan —
+  /// run() calls this after every zero-move round, so near-converged runs
+  /// were paying a single-threaded O(n + m) sweep per quiet round. The
+  /// decision is exact, not approximate: a worker that finds an unstable
+  /// node raises the flag, and the others bail at their next poll.
+  /// Always evaluates isStable through the generic view path — `states` may
+  /// be any external vector (chaos masking), which a flat mirror has not
+  /// seen.
   [[nodiscard]] bool isFixpoint(const std::vector<State>& states) {
-    ViewBuilder<State> builder(*g_, *ids_);
-    const std::uint64_t key = hashCombine(runSeed_, round_);
-    for (graph::Vertex v = 0; v < states.size(); ++v) {
-      if (!protocol_->isStable(builder.build(v, states, key))) return false;
+    workIsAll_ = true;
+    workCount_ = states.size();
+    partitionWork();
+    checkStates_ = &states;
+    roundKey_ = hashCombine(runSeed_, round_);
+    unstable_.store(false, std::memory_order_relaxed);
+    command_ = Command::Stable;
+    pending_.store(threadCount_, std::memory_order_release);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++generation_;
     }
-    return true;
+    wake_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_.wait(lock, [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+      });
+    }
+    command_ = Command::Round;
+    checkStates_ = nullptr;
+    return !unstable_.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::size_t threadCount() const noexcept {
@@ -137,25 +183,37 @@ class ParallelSyncRunner {
  private:
   std::size_t stepDense(std::vector<State>& states) {
     const telemetry::ScopedTimer roundTimer(metrics_.roundDuration);
+    const std::size_t n = states.size();
     {
       const telemetry::ScopedTimer t(metrics_.snapshotDuration);
-      snapshot_ = states;
+      if (kernel_ != nullptr) {
+        kernel_->sync(states);  // the flat path's snapshot phase
+      } else {
+        snapshot_ = states;
+      }
     }
     workIsAll_ = true;
-    workCount_ = snapshot_.size();
+    workCount_ = n;
     trackMoves_ = false;
+    partitionWork();
     const std::size_t moves = dispatchRound(states);
-    return finishRound(moves, /*evaluated=*/snapshot_.size());
+    return finishRound(moves, /*evaluated=*/n, n);
   }
 
   std::size_t stepActive(std::vector<State>& states) {
     const telemetry::ScopedTimer roundTimer(metrics_.roundDuration);
+    const std::size_t n = states.size();
     {
       const telemetry::ScopedTimer t(metrics_.snapshotDuration);
-      if (!scheduleValid_ || snapshot_.size() != states.size() ||
+      if (!scheduleValid_ || seededCount_ != n ||
           graphVersion_ != g_->version()) {
-        snapshot_ = states;  // the only full copy Active ever makes
-        active_.reset(states.size());
+        if (kernel_ != nullptr) {
+          kernel_->sync(states);  // the flat path's full (re)seed copy
+        } else {
+          snapshot_ = states;  // the only full copy Active ever makes
+        }
+        seededCount_ = n;
+        active_.reset(n);
         active_.seedAll();
         graphVersion_ = g_->version();
         scheduleValid_ = true;
@@ -166,23 +224,58 @@ class ParallelSyncRunner {
     // keep the incremental snapshot.
     workIsAll_ = protocol_->usesRoundEntropy();
     work_ = active_.current();
-    workCount_ = workIsAll_ ? snapshot_.size() : work_.size();
+    workCount_ = workIsAll_ ? n : work_.size();
     trackMoves_ = true;
     for (auto& moved : workerMoved_) moved.clear();
+    partitionWork();
     const std::size_t evaluated = workCount_;
     const std::size_t moves = dispatchRound(states);
     // Merge the per-worker moved queues (written before the pending_ release
-    // barrier, read after it): patch the snapshot and mark each mover's
-    // closed neighborhood dirty for the next round.
+    // barrier, read after it): patch the snapshot (SoA mirror on the flat
+    // path) and mark each mover's closed neighborhood dirty for next round.
     for (const auto& moved : workerMoved_) {
       for (const graph::Vertex v : moved) {
-        snapshot_[v] = states[v];
+        if (kernel_ != nullptr) {
+          kernel_->apply(v, states[v]);
+        } else {
+          snapshot_[v] = states[v];
+        }
         active_.mark(v);
         for (const graph::Vertex w : g_->neighbors(v)) active_.mark(w);
       }
     }
     active_.advance();
-    return finishRound(moves, evaluated);
+    return finishRound(moves, evaluated, n);
+  }
+
+  // Computes this round's degree-weighted partition boundaries: worker t
+  // owns work items [bounds_[t], bounds_[t+1]). Weighting by deg(v)+1
+  // balances the neighbor-scan cost, not the item count, so power-law hubs
+  // spread across the pool (the worker_imbalance_ratio gauge tracks the
+  // effect). The dense/full-range split depends only on (graph version, n),
+  // so it is cached across rounds; active rounds repartition their (small)
+  // dirty list each time.
+  void partitionWork() {
+    if (workIsAll_) {
+      if (!denseBoundsValid_ || denseBoundsVersion_ != g_->version() ||
+          denseBoundsCount_ != workCount_) {
+        denseBounds_ = weightedBoundaries(
+            workCount_, threadCount_, [this](std::size_t i) {
+              return static_cast<std::uint64_t>(
+                         g_->degree(static_cast<graph::Vertex>(i))) +
+                     1;
+            });
+        denseBoundsValid_ = true;
+        denseBoundsVersion_ = g_->version();
+        denseBoundsCount_ = workCount_;
+      }
+      bounds_ = denseBounds_;
+    } else {
+      bounds_ = weightedBoundaries(
+          workCount_, threadCount_, [this](std::size_t i) {
+            return static_cast<std::uint64_t>(g_->degree(work_[i])) + 1;
+          });
+    }
   }
 
   // Wakes the pool for one round and blocks until every chunk is done.
@@ -192,6 +285,9 @@ class ParallelSyncRunner {
     moves_.store(0, std::memory_order_relaxed);
     pending_.store(threadCount_, std::memory_order_release);
     const telemetry::ScopedTimer evaluateTimer(metrics_.evaluateDuration);
+    const bool timeEvals = metrics_.evaluationsPerSecond != nullptr;
+    std::chrono::steady_clock::time_point evalStart;
+    if (timeEvals) evalStart = std::chrono::steady_clock::now();
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       ++generation_;
@@ -203,23 +299,32 @@ class ParallelSyncRunner {
         return pending_.load(std::memory_order_acquire) == 0;
       });
     }
+    if (timeEvals) {
+      recordEvaluationRate(
+          metrics_, workCount_,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        evalStart)
+              .count());
+    }
     // moves_total was already bumped by the workers (lock-free, per-chunk).
     return moves_.load(std::memory_order_relaxed);
   }
 
   // Shared round epilogue: telemetry, round event, round counter.
-  std::size_t finishRound(std::size_t moves, std::size_t evaluated) {
+  std::size_t finishRound(std::size_t moves, std::size_t evaluated,
+                          std::size_t n) {
     if (metrics_.rounds != nullptr) metrics_.rounds->inc();
     if (metrics_.workerImbalance != nullptr) {
       metrics_.workerImbalance->set(imbalanceRatio());
     }
-    recordActivation(metrics_, evaluated, snapshot_.size());
+    recordActivation(metrics_, evaluated, n);
     if (events_ != nullptr) {
       events_->emit("round", {{"executor", "parallel"},
                               {"round", round_},
                               {"moves", moves},
                               {"active", evaluated},
-                              {"workers", threadCount_}});
+                              {"workers", threadCount_},
+                              {"kernel", toString(kernel())}});
     }
     ++round_;
     return moves;
@@ -227,6 +332,7 @@ class ParallelSyncRunner {
 
   void workerLoop(std::size_t index) {
     ViewBuilder<State> builder(*g_, *ids_);
+    MoveList<State> scratch;  // flat-kernel output for this worker's chunk
     std::uint64_t seenGeneration = 0;
     for (;;) {
       {
@@ -237,25 +343,50 @@ class ParallelSyncRunner {
         if (shutdown_) return;
         seenGeneration = generation_;
       }
-      // Static block partition of the round's work list: the full vertex
-      // range (dense / entropic rounds) or the sorted active set.
-      const std::size_t n = workCount_;
-      const std::size_t chunk = (n + threadCount_ - 1) / threadCount_;
-      const std::size_t begin = index * chunk;
-      const std::size_t end = std::min(n, begin + chunk);
+      // Degree-weighted partition of the round's work list (partitionWork):
+      // the full vertex range (dense / entropic / stability dispatches) or
+      // the sorted active set.
+      const std::size_t begin = bounds_[index];
+      const std::size_t end = bounds_[index + 1];
+      if (command_ == Command::Stable) {
+        stabilityScan(builder, begin, end);
+        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          done_.notify_one();
+        }
+        continue;
+      }
       const bool timed = metrics_.workerChunkDuration != nullptr;
       std::chrono::steady_clock::time_point chunkStart;
       if (timed) chunkStart = std::chrono::steady_clock::now();
       std::size_t localMoves = 0;
-      for (std::size_t i = begin; i < end; ++i) {
-        const graph::Vertex v =
-            workIsAll_ ? static_cast<graph::Vertex>(i) : work_[i];
-        const auto view = builder.build(v, snapshot_, roundKey_);
-        if (auto next = protocol_->onRound(view)) {
-          (*target_)[v] = std::move(*next);
+      if (kernel_ != nullptr) {
+        scratch.clear();
+        if (workIsAll_) {
+          kernel_->evaluateRange(static_cast<graph::Vertex>(begin),
+                                 static_cast<graph::Vertex>(end), roundKey_,
+                                 scratch);
+        } else {
+          kernel_->evaluateList(work_.subspan(begin, end - begin), roundKey_,
+                                scratch);
+        }
+        for (auto& [v, next] : scratch) {
+          (*target_)[v] = std::move(next);
           // Own queue only; the main thread merges after the barrier.
           if (trackMoves_) workerMoved_[index].push_back(v);
-          ++localMoves;
+        }
+        localMoves = scratch.size();
+      } else {
+        for (std::size_t i = begin; i < end; ++i) {
+          const graph::Vertex v =
+              workIsAll_ ? static_cast<graph::Vertex>(i) : work_[i];
+          const auto view = builder.build(v, snapshot_, roundKey_);
+          if (auto next = protocol_->onRound(view)) {
+            (*target_)[v] = std::move(*next);
+            // Own queue only; the main thread merges after the barrier.
+            if (trackMoves_) workerMoved_[index].push_back(v);
+            ++localMoves;
+          }
         }
       }
       if (timed) {
@@ -274,6 +405,26 @@ class ParallelSyncRunner {
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         const std::lock_guard<std::mutex> lock(mutex_);
         done_.notify_one();
+      }
+    }
+  }
+
+  // One worker's share of an isFixpoint sweep: scan [begin, end) of the
+  // vertex range, raise the shared flag on the first unstable node, and
+  // poll it every 32 vertices so a hit anywhere ends the whole sweep early.
+  // Relaxed ordering suffices — the pending_ countdown publishes the flag
+  // to the main thread, and a stale poll read only delays the exit.
+  void stabilityScan(ViewBuilder<State>& builder, std::size_t begin,
+                     std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (((i - begin) & 31U) == 0 &&
+          unstable_.load(std::memory_order_relaxed)) {
+        return;
+      }
+      const auto v = static_cast<graph::Vertex>(i);
+      if (!protocol_->isStable(builder.build(v, *checkStates_, roundKey_))) {
+        unstable_.store(true, std::memory_order_relaxed);
+        return;
       }
     }
   }
@@ -303,15 +454,33 @@ class ParallelSyncRunner {
   std::vector<State> snapshot_;
   std::vector<State>* target_ = nullptr;
   std::uint64_t roundKey_ = 0;
+  std::unique_ptr<FlatKernel<State>> kernel_;
+
+  // What a generation dispatch asks the pool to do: evaluate a round or
+  // run a stability (isFixpoint) sweep.
+  enum class Command : std::uint8_t { Round, Stable };
+  Command command_ = Command::Round;
+  const std::vector<State>* checkStates_ = nullptr;
+  std::atomic<bool> unstable_{false};
 
   // Active-set bookkeeping (main thread only, except workerMoved_ slots).
   ActiveSet active_;
+  std::size_t seededCount_ = 0;
   bool scheduleValid_ = false;
   std::uint64_t graphVersion_ = 0;
   std::span<const graph::Vertex> work_;
   std::size_t workCount_ = 0;
   bool workIsAll_ = true;
   bool trackMoves_ = false;
+
+  // Partition boundaries for the current dispatch (written by the main
+  // thread before the generation bump, read by workers after it). The
+  // full-range split is cached: it changes only with topology or n.
+  std::vector<std::size_t> bounds_;
+  std::vector<std::size_t> denseBounds_;
+  bool denseBoundsValid_ = false;
+  std::uint64_t denseBoundsVersion_ = 0;
+  std::size_t denseBoundsCount_ = 0;
   std::vector<std::vector<graph::Vertex>> workerMoved_;
   std::atomic<std::size_t> moves_{0};
   std::atomic<std::size_t> pending_{0};

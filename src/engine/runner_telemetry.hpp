@@ -22,6 +22,7 @@ struct RunnerMetrics {
   telemetry::Histogram* commitDuration = nullptr;
   telemetry::Histogram* workerChunkDuration = nullptr;  // parallel only
   telemetry::Gauge* workerImbalance = nullptr;          // parallel only
+  telemetry::Gauge* evaluationsPerSecond = nullptr;
   telemetry::Counter* activeNodes = nullptr;
   telemetry::Counter* skippedNodes = nullptr;
   telemetry::Histogram* activationFraction = nullptr;
@@ -52,11 +53,22 @@ struct RunnerMetrics {
     m.commitDuration = &registry->histogram(names::kCommitDuration,
                                             telemetry::durationBuckets());
   }
+  m.evaluationsPerSecond = &registry->gauge(names::kEvaluationsPerSecond);
   m.activeNodes = &registry->counter(names::kActiveNodes);
   m.skippedNodes = &registry->counter(names::kSkippedNodes);
   m.activationFraction = &registry->histogram(names::kActivationFraction,
                                               telemetry::fractionBuckets());
   return m;
+}
+
+/// Sets the evaluations-per-second gauge from one round's evaluate phase.
+/// Wall-clock-derived, so it goes to metrics only — round *events* must stay
+/// byte-reproducible. No-op when telemetry is disabled or nothing was timed.
+inline void recordEvaluationRate(const RunnerMetrics& m, std::size_t evaluated,
+                                 double seconds) {
+  if (m.evaluationsPerSecond != nullptr && seconds > 0.0 && evaluated > 0) {
+    m.evaluationsPerSecond->set(static_cast<double>(evaluated) / seconds);
+  }
 }
 
 /// Records one round's activation: `evaluated` of `n` nodes had their rules

@@ -39,6 +39,45 @@ enum class Schedule {
   return "?";
 }
 
+/// Splits `count` work items into `parts` contiguous ranges of near-equal
+/// total weight. Returns parts+1 boundary indices with bounds[0] == 0 and
+/// bounds[parts] == count; range p is [bounds[p], bounds[p+1]). Boundary p
+/// closes at the first item where the weight prefix reaches p/parts of the
+/// total, so a part exceeds the ideal share by at most one item's weight
+/// (a single huge item may leave later parts empty — that is the balanced
+/// answer). Zero total weight falls back to equal-count splitting.
+///
+/// The parallel executor uses weight(v) = deg(v)+1 — the cost of one rule
+/// evaluation is dominated by the neighbor scan — so skewed (power-law)
+/// graphs no longer pin one worker on all the hubs while the rest idle.
+template <typename WeightFn>
+[[nodiscard]] std::vector<std::size_t> weightedBoundaries(std::size_t count,
+                                                          std::size_t parts,
+                                                          WeightFn&& weightOf) {
+  if (parts == 0) parts = 1;
+  std::vector<std::size_t> bounds(parts + 1, count);
+  bounds[0] = 0;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < count; ++i) total += weightOf(i);
+  if (total == 0) {
+    const std::size_t chunk = (count + parts - 1) / parts;
+    for (std::size_t p = 1; p < parts; ++p) {
+      bounds[p] = std::min(count, p * chunk);
+    }
+    return bounds;
+  }
+  std::uint64_t acc = 0;
+  std::size_t p = 1;
+  for (std::size_t i = 0; i < count && p < parts; ++i) {
+    acc += weightOf(i);
+    while (p < parts && acc * parts >= p * total) {
+      bounds[p] = i + 1;
+      ++p;
+    }
+  }
+  return bounds;
+}
+
 /// Epoch-stamped dirty set with deterministic (ascending-vertex) iteration.
 ///
 /// Two generations are live at once: current() is the sorted set of nodes to

@@ -8,12 +8,15 @@
 #pragma once
 
 #include <cassert>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "engine/kernel.hpp"
 #include "engine/protocol.hpp"
 #include "engine/runner_telemetry.hpp"
 #include "engine/schedule.hpp"
@@ -103,6 +106,21 @@ class SyncRunner {
 
   [[nodiscard]] Schedule schedule() const noexcept { return schedule_; }
 
+  /// Installs a flat protocol kernel (core/kernels.hpp) as the evaluation
+  /// path for subsequent rounds; nullptr reverts to the generic LocalView
+  /// path. The kernel must mirror this runner's protocol — trajectories stay
+  /// bit-identical either way (the KernelDifferential suite enforces it).
+  /// Counts as an external mutation for Active-schedule bookkeeping.
+  void setKernel(std::unique_ptr<FlatKernel<State>> kernel) {
+    kernel_ = std::move(kernel);
+    scheduleValid_ = false;
+  }
+
+  /// Which evaluation path step() is on.
+  [[nodiscard]] Kernel kernel() const noexcept {
+    return kernel_ != nullptr ? Kernel::Flat : Kernel::Generic;
+  }
+
   /// Runs until a fixpoint or until maxRounds rounds have executed. The
   /// final zero-move verification round is not counted in
   /// RunResult::rounds, matching the paper's convention that "stabilizes in
@@ -166,33 +184,50 @@ class SyncRunner {
   std::size_t stepDense(std::vector<State>& states) {
     const telemetry::ScopedTimer roundTimer(metrics_.roundDuration);
     const std::uint64_t key = roundKey(round_);
+    const std::size_t n = states.size();
     {
+      // The flat path's sync() is the snapshot phase: a full SoA reload from
+      // the authoritative vector plays the role of the S_t copy.
       const telemetry::ScopedTimer t(metrics_.snapshotDuration);
-      snapshot_ = states;
+      if (kernel_ != nullptr) {
+        kernel_->sync(states);
+      } else {
+        snapshot_ = states;
+      }
     }
     pending_.clear();
     {
       const telemetry::ScopedTimer t(metrics_.evaluateDuration);
-      for (graph::Vertex v = 0; v < snapshot_.size(); ++v) {
-        evaluateOne(v, key);
+      const EvalStopwatch stopwatch(metrics_, n);
+      if (kernel_ != nullptr) {
+        kernel_->evaluateRange(0, static_cast<graph::Vertex>(n), key,
+                               pending_);
+      } else {
+        for (graph::Vertex v = 0; v < n; ++v) evaluateOne(v, key);
       }
     }
     {
       const telemetry::ScopedTimer t(metrics_.commitDuration);
       for (auto& [v, next] : pending_) states[v] = std::move(next);
     }
-    return finishRound(snapshot_.size());
+    return finishRound(n, n);
   }
 
   std::size_t stepActive(std::vector<State>& states) {
     const telemetry::ScopedTimer roundTimer(metrics_.roundDuration);
     const std::uint64_t key = roundKey(round_);
+    const std::size_t n = states.size();
     {
       const telemetry::ScopedTimer t(metrics_.snapshotDuration);
-      if (!scheduleValid_ || snapshot_.size() != states.size() ||
+      if (!scheduleValid_ || seededCount_ != n ||
           graphVersion_ != builder_.graphRef().version()) {
-        snapshot_ = states;  // the only full copy Active ever makes
-        active_.reset(states.size());
+        if (kernel_ != nullptr) {
+          kernel_->sync(states);  // the flat path's full (re)seed copy
+        } else {
+          snapshot_ = states;  // the only full copy Active ever makes
+        }
+        seededCount_ = n;
+        active_.reset(n);
         active_.seedAll();
         graphVersion_ = builder_.graphRef().version();
         scheduleValid_ = true;
@@ -203,27 +238,40 @@ class SyncRunner {
     {
       const telemetry::ScopedTimer t(metrics_.evaluateDuration);
       if (protocol_->usesRoundEntropy()) {
-        evaluated = snapshot_.size();
-        for (graph::Vertex v = 0; v < snapshot_.size(); ++v) {
-          evaluateOne(v, key);
+        evaluated = n;
+        const EvalStopwatch stopwatch(metrics_, evaluated);
+        if (kernel_ != nullptr) {
+          kernel_->evaluateRange(0, static_cast<graph::Vertex>(n), key,
+                                 pending_);
+        } else {
+          for (graph::Vertex v = 0; v < n; ++v) evaluateOne(v, key);
         }
       } else {
         evaluated = active_.current().size();
-        for (const graph::Vertex v : active_.current()) evaluateOne(v, key);
+        const EvalStopwatch stopwatch(metrics_, evaluated);
+        if (kernel_ != nullptr) {
+          kernel_->evaluateList(active_.current(), key, pending_);
+        } else {
+          for (const graph::Vertex v : active_.current()) evaluateOne(v, key);
+        }
       }
     }
     {
       const telemetry::ScopedTimer t(metrics_.commitDuration);
       for (auto& [v, next] : pending_) {
         states[v] = next;
-        snapshot_[v] = std::move(next);
+        if (kernel_ != nullptr) {
+          kernel_->apply(v, next);  // keep the SoA mirror hot
+        } else {
+          snapshot_[v] = std::move(next);
+        }
         // The mover and everyone who can see it re-evaluate next round.
         active_.mark(v);
         for (const graph::Vertex w : builder_.neighborsOf(v)) active_.mark(w);
       }
       active_.advance();
     }
-    return finishRound(evaluated);
+    return finishRound(evaluated, n);
   }
 
   // Evaluates v's rules against the snapshot; queues a move if enabled.
@@ -235,17 +283,46 @@ class SyncRunner {
     }
   }
 
+  // Times one evaluate phase into the evaluations_per_second gauge; skips
+  // the clock entirely when no registry is attached.
+  class EvalStopwatch {
+   public:
+    EvalStopwatch(const RunnerMetrics& metrics, std::size_t evaluated)
+        : metrics_(metrics), evaluated_(evaluated) {
+      if (metrics_.evaluationsPerSecond != nullptr) {
+        start_ = std::chrono::steady_clock::now();
+      }
+    }
+    ~EvalStopwatch() {
+      if (metrics_.evaluationsPerSecond != nullptr) {
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_)
+                .count();
+        recordEvaluationRate(metrics_, evaluated_, seconds);
+      }
+    }
+    EvalStopwatch(const EvalStopwatch&) = delete;
+    EvalStopwatch& operator=(const EvalStopwatch&) = delete;
+
+   private:
+    const RunnerMetrics& metrics_;
+    std::size_t evaluated_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
   // Shared round epilogue: telemetry, round event, round counter.
-  std::size_t finishRound(std::size_t evaluated) {
+  std::size_t finishRound(std::size_t evaluated, std::size_t n) {
     const std::size_t moves = pending_.size();
     if (metrics_.rounds != nullptr) metrics_.rounds->inc();
     if (metrics_.moves != nullptr) metrics_.moves->inc(moves);
-    recordActivation(metrics_, evaluated, snapshot_.size());
+    recordActivation(metrics_, evaluated, n);
     if (events_ != nullptr) {
       events_->emit("round", {{"executor", "sync"},
                               {"round", round_},
                               {"moves", moves},
-                              {"active", evaluated}});
+                              {"active", evaluated},
+                              {"kernel", toString(kernel())}});
     }
     ++round_;
     return moves;
@@ -258,7 +335,9 @@ class SyncRunner {
   std::size_t round_ = 0;
   std::vector<State> snapshot_;
   std::vector<std::pair<graph::Vertex, State>> pending_;
+  std::unique_ptr<FlatKernel<State>> kernel_;
   ActiveSet active_;
+  std::size_t seededCount_ = 0;
   bool scheduleValid_ = false;
   std::uint64_t graphVersion_ = 0;
   RunnerMetrics metrics_;

@@ -1,0 +1,94 @@
+// Flat CSR mirror of a graph's adjacency with pre-resolved IDs.
+//
+// Extracted from ViewBuilder (PR 2) so the same mirror can back both the
+// generic LocalView path and the flat protocol kernels (engine/kernel.hpp):
+// offsets + targets + per-slot neighbor IDs in one contiguous layout, so a
+// per-node evaluation is a cache-linear sweep over one slice instead of a
+// pointer-chasing walk over per-vertex vectors. The mirror revalidates
+// lazily against Graph::version(), so post-construction topology edits
+// (mobility, fault campaigns) are reflected on the next refresh().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/id_order.hpp"
+
+namespace selfstab::engine {
+
+class CsrTopology {
+ public:
+  CsrTopology(const graph::Graph& g, const graph::IdAssignment& ids)
+      : g_(&g), ids_(&ids) {}
+
+  /// Rebuilds the mirror iff the graph mutated since the last refresh.
+  /// Returns true when a rebuild happened, so owners of derived caches
+  /// (e.g. SisKernel's bigger-neighbor slices) know to rebuild them too.
+  bool refresh() {
+    if (fresh_ && cachedVersion_ == g_->version() &&
+        offsets_.size() == g_->order() + 1) {
+      return false;
+    }
+    const std::size_t n = g_->order();
+    offsets_.resize(n + 1);
+    targets_.clear();
+    targetIds_.clear();
+    targets_.reserve(2 * g_->size());
+    targetIds_.reserve(2 * g_->size());
+    offsets_[0] = 0;
+    for (graph::Vertex v = 0; v < n; ++v) {
+      for (const graph::Vertex w : g_->neighbors(v)) {
+        targets_.push_back(w);
+        targetIds_.push_back(ids_->idOf(w));
+      }
+      offsets_[v + 1] = targets_.size();
+    }
+    cachedVersion_ = g_->version();
+    fresh_ = true;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t order() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Neighbors of v in ascending vertex order. Valid until the next
+  /// refresh() that observes a graph mutation.
+  [[nodiscard]] std::span<const graph::Vertex> neighbors(
+      graph::Vertex v) const noexcept {
+    return {targets_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// IDs of v's neighbors, slot-aligned with neighbors(v).
+  [[nodiscard]] std::span<const graph::Id> neighborIds(
+      graph::Vertex v) const noexcept {
+    return {targetIds_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  [[nodiscard]] std::size_t degree(graph::Vertex v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  [[nodiscard]] graph::Id idOf(graph::Vertex v) const noexcept {
+    return ids_->idOf(v);
+  }
+
+  [[nodiscard]] const graph::Graph& graphRef() const noexcept { return *g_; }
+  [[nodiscard]] const graph::IdAssignment& ids() const noexcept {
+    return *ids_;
+  }
+
+ private:
+  const graph::Graph* g_;
+  const graph::IdAssignment* ids_;
+  std::vector<std::size_t> offsets_;
+  std::vector<graph::Vertex> targets_;
+  std::vector<graph::Id> targetIds_;
+  std::uint64_t cachedVersion_ = 0;
+  bool fresh_ = false;
+};
+
+}  // namespace selfstab::engine

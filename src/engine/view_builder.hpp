@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "engine/protocol.hpp"
+#include "engine/topology.hpp"
 
 namespace selfstab::engine {
 
@@ -14,32 +15,31 @@ namespace selfstab::engine {
 /// the builder's buffer and the state vector passed in, so it is valid only
 /// until the next build() call or state mutation.
 ///
-/// Internally the builder mirrors the graph's adjacency into a flat CSR
-/// layout (offsets + targets + pre-resolved ids) so that filling a view is a
-/// cache-linear sweep over one contiguous slice instead of a pointer-chasing
-/// walk over per-vertex vectors. The mirror revalidates lazily against
-/// Graph::version(), so post-construction topology edits are still
-/// reflected — the contract existing callers rely on.
+/// The CSR adjacency mirror itself lives in CsrTopology (engine/topology.hpp)
+/// so the flat protocol kernels can share the exact same layout; the builder
+/// only adds the per-call NeighborRef materialization. The mirror revalidates
+/// lazily against Graph::version(), so post-construction topology edits are
+/// still reflected — the contract existing callers rely on.
 template <typename State>
 class ViewBuilder {
  public:
   ViewBuilder(const graph::Graph& g, const graph::IdAssignment& ids)
-      : g_(&g), ids_(&ids) {}
+      : topo_(g, ids) {}
 
   LocalView<State> build(graph::Vertex v, const std::vector<State>& states,
                          std::uint64_t roundKey = 0) {
-    refresh();
+    topo_.refresh();
     buffer_.clear();
-    const std::size_t begin = offsets_[v];
-    const std::size_t end = offsets_[v + 1];
-    buffer_.reserve(end - begin);
-    for (std::size_t i = begin; i < end; ++i) {
+    const std::span<const graph::Vertex> nbrs = topo_.neighbors(v);
+    const std::span<const graph::Id> nbrIds = topo_.neighborIds(v);
+    buffer_.reserve(nbrs.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
       buffer_.push_back(
-          NeighborRef<State>{targets_[i], targetIds_[i], &states[targets_[i]]});
+          NeighborRef<State>{nbrs[i], nbrIds[i], &states[nbrs[i]]});
     }
     LocalView<State> view;
     view.self = v;
-    view.selfId = ids_->idOf(v);
+    view.selfId = topo_.idOf(v);
     view.selfState = &states[v];
     view.neighbors = buffer_;
     view.roundKey = roundKey;
@@ -49,50 +49,20 @@ class ViewBuilder {
   /// Neighbors of v in ascending vertex order, straight from the CSR mirror.
   /// The span is invalidated by graph mutation followed by a refresh.
   [[nodiscard]] std::span<const graph::Vertex> neighborsOf(graph::Vertex v) {
-    refresh();
-    return {targets_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+    topo_.refresh();
+    return topo_.neighbors(v);
   }
 
-  [[nodiscard]] const graph::Graph& graphRef() const noexcept { return *g_; }
+  [[nodiscard]] const graph::Graph& graphRef() const noexcept {
+    return topo_.graphRef();
+  }
   [[nodiscard]] const graph::IdAssignment& ids() const noexcept {
-    return *ids_;
+    return topo_.ids();
   }
 
  private:
-  // Rebuilds the CSR mirror iff the graph mutated since the last build.
-  void refresh() {
-    if (fresh_ && cachedVersion_ == g_->version() &&
-        offsets_.size() == g_->order() + 1) {
-      return;
-    }
-    const std::size_t n = g_->order();
-    offsets_.resize(n + 1);
-    targets_.clear();
-    targetIds_.clear();
-    targets_.reserve(2 * g_->size());
-    targetIds_.reserve(2 * g_->size());
-    offsets_[0] = 0;
-    for (graph::Vertex v = 0; v < n; ++v) {
-      for (const graph::Vertex w : g_->neighbors(v)) {
-        targets_.push_back(w);
-        targetIds_.push_back(ids_->idOf(w));
-      }
-      offsets_[v + 1] = targets_.size();
-    }
-    cachedVersion_ = g_->version();
-    fresh_ = true;
-  }
-
-  const graph::Graph* g_;
-  const graph::IdAssignment* ids_;
+  CsrTopology topo_;
   std::vector<NeighborRef<State>> buffer_;
-
-  // Flat CSR mirror of the adjacency, ids pre-resolved per slot.
-  std::vector<std::size_t> offsets_;
-  std::vector<graph::Vertex> targets_;
-  std::vector<graph::Id> targetIds_;
-  std::uint64_t cachedVersion_ = 0;
-  bool fresh_ = false;
 };
 
 }  // namespace selfstab::engine

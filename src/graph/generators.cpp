@@ -1,5 +1,6 @@
 #include "graph/generators.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "graph/algorithms.hpp"
@@ -234,6 +235,33 @@ Graph connectedRandomGeometric(std::size_t n, double radius, Rng& rng,
     g.addEdge(parent, v);
   }
   if (outPoints != nullptr) *outPoints = std::move(points);
+  return g;
+}
+
+Graph preferentialAttachment(std::size_t n, std::size_t m, Rng& rng) {
+  assert(m >= 1);
+  Graph g(n);
+  // Endpoint multiset: one baseline slot per vertex plus one slot per
+  // incident half-edge, so a uniform draw is a degree+1-proportional draw.
+  std::vector<Vertex> slots;
+  slots.reserve(n + 2 * n * m);
+  if (n > 0) slots.push_back(0);
+  for (Vertex v = 1; v < n; ++v) {
+    const std::size_t wanted = std::min<std::size_t>(v, m);
+    // Freeze the pool for this step: v's own edges must not bias its
+    // remaining draws.
+    const std::size_t poolSize = slots.size();
+    std::size_t added = 0;
+    while (added < wanted) {
+      const Vertex target = slots[rng.below(poolSize)];
+      if (g.addEdge(target, v)) {  // rejects duplicates; resample
+        slots.push_back(target);
+        slots.push_back(v);
+        ++added;
+      }
+    }
+    slots.push_back(v);
+  }
   return g;
 }
 

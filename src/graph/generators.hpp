@@ -86,4 +86,11 @@ Graph connectedRandomGeometric(std::size_t n, double radius, Rng& rng,
                                std::vector<Point>* outPoints = nullptr,
                                int maxTries = 64);
 
+/// Preferential attachment (Barabási–Albert): vertex v >= 1 attaches
+/// min(v, m) edges to distinct earlier vertices sampled proportionally to
+/// degree+1. Connected by construction, with a power-law degree tail — the
+/// hub-heavy regime that defeats equal-count work splits and motivates the
+/// executors' degree-weighted partitioning.
+Graph preferentialAttachment(std::size_t n, std::size_t m, Rng& rng);
+
 }  // namespace selfstab::graph

@@ -27,6 +27,11 @@ inline constexpr const char* kCommitDuration =
 inline constexpr const char* kWorkerChunkDuration =
     "worker_chunk_duration_seconds";
 inline constexpr const char* kWorkerImbalance = "worker_imbalance_ratio";
+// Rule evaluations per second over the last round's evaluate phase (gauge;
+// wall-clock-derived, so it lives in metrics, never in the event log — see
+// docs/OBSERVABILITY.md on reproducibility).
+inline constexpr const char* kEvaluationsPerSecond =
+    "evaluations_per_second";
 
 // Active-set scheduling (both executors; the beacon simulator reuses the
 // counters for per-interval rule evaluations vs dirty-skip suppressions).

@@ -121,6 +121,23 @@ TEST(ParseOptions, Schedule) {
   EXPECT_THROW(parseOptions({"--schedule"}), CliError);  // missing value
 }
 
+TEST(ParseOptions, Kernel) {
+  EXPECT_EQ(parseOptions({}).kernel, engine::KernelMode::Auto);
+  EXPECT_EQ(parseOptions({"--kernel", "auto"}).kernel,
+            engine::KernelMode::Auto);
+  EXPECT_EQ(parseOptions({"--kernel", "generic"}).kernel,
+            engine::KernelMode::Generic);
+  EXPECT_EQ(parseOptions({"--kernel", "flat"}).kernel,
+            engine::KernelMode::Flat);
+  EXPECT_THROW(parseOptions({"--kernel", "vectorized"}), CliError);
+  EXPECT_THROW(parseOptions({"--kernel"}), CliError);  // missing value
+}
+
+TEST(ParseOptions, Json) {
+  EXPECT_FALSE(parseOptions({}).json);
+  EXPECT_TRUE(parseOptions({"--json"}).json);
+}
+
 TEST(ParseOptions, Help) {
   EXPECT_TRUE(parseOptions({"--help"}).help);
   EXPECT_TRUE(parseOptions({"-h"}).help);

@@ -259,6 +259,72 @@ TEST(Execute, MetricsToUnwritablePathThrows) {
   EXPECT_THROW(execute(options, out), CliError);
 }
 
+TEST(Execute, FlatKernelMatchesGenericExactly) {
+  // The flat kernels promise bit-identical trajectories, so the whole report
+  // (rounds, moves, summary) must agree between --kernel generic and flat,
+  // for both protocols and both schedules.
+  for (const ProtocolKind kind : {ProtocolKind::Smm, ProtocolKind::Sis}) {
+    for (const engine::Schedule schedule :
+         {engine::Schedule::Dense, engine::Schedule::Active}) {
+      std::ostringstream out;
+      Options generic = makeOptions(kind, "gnp:30:0.12");
+      generic.start = StartKind::Random;
+      generic.seed = 23;
+      generic.schedule = schedule;
+      generic.kernel = engine::KernelMode::Generic;
+      Options flat = generic;
+      flat.kernel = engine::KernelMode::Flat;
+
+      const Report a = execute(generic, out);
+      const Report b = execute(flat, out);
+      EXPECT_EQ(a.kernel, "generic") << toString(kind);
+      EXPECT_EQ(b.kernel, "flat") << toString(kind);
+      EXPECT_EQ(a.rounds, b.rounds) << toString(kind);
+      EXPECT_EQ(a.moves, b.moves) << toString(kind);
+      EXPECT_EQ(a.stabilized, b.stabilized) << toString(kind);
+      EXPECT_EQ(a.summary, b.summary) << toString(kind);
+    }
+  }
+}
+
+TEST(Execute, AutoKernelSelectsFlatWhereAvailable) {
+  std::ostringstream out;
+  EXPECT_EQ(execute(makeOptions(ProtocolKind::Smm, "path:10"), out).kernel,
+            "flat");
+  EXPECT_EQ(execute(makeOptions(ProtocolKind::Sis, "path:10"), out).kernel,
+            "flat");
+  // Protocols without a flat kernel silently fall back under auto.
+  EXPECT_EQ(execute(makeOptions(ProtocolKind::Coloring, "path:10"), out).kernel,
+            "generic");
+}
+
+TEST(Execute, ForcedFlatKernelThrowsWhereUnavailable) {
+  std::ostringstream out;
+  Options options = makeOptions(ProtocolKind::Coloring, "path:10");
+  options.kernel = engine::KernelMode::Flat;
+  EXPECT_THROW(execute(options, out), CliError);
+}
+
+TEST(Execute, JsonReportCarriesKernelAndRate) {
+  std::ostringstream out;
+  Options options = makeOptions(ProtocolKind::Sis, "gnp:25:0.15");
+  options.json = true;
+  const Report r = execute(options, out);
+  EXPECT_TRUE(r.stabilized);
+  EXPECT_EQ(r.kernel, "flat");
+  EXPECT_GE(r.evaluationsPerSecond, 0.0);
+
+  std::ostringstream json;
+  printReportJson(r, json);
+  const std::string text = json.str();
+  EXPECT_NE(text.find("\"kernel\":\"flat\""), std::string::npos);
+  EXPECT_NE(text.find("\"schedule\":"), std::string::npos);
+  EXPECT_NE(text.find("\"evaluationsPerSecond\":"), std::string::npos);
+  EXPECT_NE(text.find("\"rounds\":" + std::to_string(r.rounds)),
+            std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
 TEST(PrintReport, RendersAllFields) {
   Report r;
   r.protocol = "smm";

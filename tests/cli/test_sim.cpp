@@ -94,6 +94,61 @@ TEST(ExecuteSim, ReferenceModesMatchFastModes) {
   EXPECT_EQ(fastOut.str(), referenceOut.str());
 }
 
+TEST(ParseSimOptions, Kernel) {
+  EXPECT_EQ(parseSimOptions({}).kernel, engine::KernelMode::Auto);
+  EXPECT_EQ(parseSimOptions({"--kernel", "auto"}).kernel,
+            engine::KernelMode::Auto);
+  EXPECT_EQ(parseSimOptions({"--kernel", "generic"}).kernel,
+            engine::KernelMode::Generic);
+  EXPECT_EQ(parseSimOptions({"--kernel", "flat"}).kernel,
+            engine::KernelMode::Flat);
+  EXPECT_THROW(parseSimOptions({"--kernel", "simd"}), CliError);
+  EXPECT_THROW(parseSimOptions({"--kernel"}), CliError);  // missing value
+}
+
+TEST(ExecuteSim, KernelFlatMatchesGenericAndReportsPath) {
+  // Same deployment and seed: the view kernel promises bit-identical
+  // decisions, so every deterministic report field must match the generic
+  // path exactly.
+  for (const SimProtocolKind kind :
+       {SimProtocolKind::Smm, SimProtocolKind::Sis}) {
+    SimOptions generic;
+    generic.protocol = kind;
+    generic.nodes = 15;
+    generic.seed = 3;
+    generic.duration = 120 * adhoc::kSecond;
+    generic.kernel = engine::KernelMode::Generic;
+    SimOptions flat = generic;
+    flat.kernel = engine::KernelMode::Flat;
+
+    std::ostringstream genericOut;
+    std::ostringstream flatOut;
+    const SimReport g = executeSim(generic, genericOut);
+    const SimReport f = executeSim(flat, flatOut);
+    EXPECT_EQ(g.kernel, "generic");
+    EXPECT_EQ(f.kernel, "flat");
+    EXPECT_EQ(f.moves, g.moves);
+    EXPECT_EQ(f.rounds, g.rounds);
+    EXPECT_EQ(f.ruleEvaluations, g.ruleEvaluations);
+    EXPECT_EQ(f.beaconsSent, g.beaconsSent);
+    EXPECT_EQ(f.summary, g.summary);
+    EXPECT_EQ(flatOut.str(), genericOut.str());
+  }
+}
+
+TEST(ExecuteSim, KernelAutoFallsBackForLeaderTree) {
+  SimOptions options;
+  options.protocol = SimProtocolKind::LeaderTree;
+  options.nodes = 10;
+  options.duration = 120 * adhoc::kSecond;
+  std::ostringstream out;
+  EXPECT_EQ(executeSim(options, out).kernel, "generic");
+
+  options.kernel = engine::KernelMode::Flat;
+  std::ostringstream out2;
+  EXPECT_THROW(executeSim(options, out2), CliError);
+}
+
 TEST(ParseSimOptions, Rejections) {
   EXPECT_THROW((void)parseSimOptions({"-p", "bogus"}), CliError);
   EXPECT_THROW((void)parseSimOptions({"-n", "0"}), CliError);
@@ -262,6 +317,7 @@ TEST(ExecuteSim, EventsStreamIsJsonl) {
 TEST(PrintSimReportJson, EmitsOneParsableObject) {
   SimReport report;
   report.protocol = "smm";
+  report.kernel = "flat";
   report.nodes = 25;
   report.endTime = 7 * adhoc::kSecond;
   report.rounds = 70;
@@ -278,7 +334,8 @@ TEST(PrintSimReportJson, EmitsOneParsableObject) {
   printSimReportJson(report, out);
   const std::string json = out.str();
   EXPECT_EQ(json,
-            "{\"protocol\":\"smm\",\"nodes\":25,\"endTimeUs\":7000000,"
+            "{\"protocol\":\"smm\",\"kernel\":\"flat\",\"nodes\":25,"
+            "\"endTimeUs\":7000000,"
             "\"rounds\":70,\"quiet\":true,\"predicateOk\":true,"
             "\"beaconsSent\":1750,\"beaconsDelivered\":6902,"
             "\"beaconsLost\":0,\"beaconsCollided\":0,\"moves\":31,"

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "analysis/verifiers.hpp"
 #include "engine/fault.hpp"
 #include "engine/sync_runner.hpp"
@@ -203,6 +205,35 @@ TEST(SisProperties, FixedPrefixNeverFlipsBack) {
   // largest leaves, then quiet — exactly two productive rounds.
   EXPECT_LE(result.rounds, 2u);
   (void)largestSettled;
+}
+
+// The livelock certifier hashes whole configurations by folding
+// hashValue(BitState) with hashCombine (engine/cycle_detection.hpp). A
+// boolean state is maximally collision-prone under a weak per-state hash
+// (e.g. 0/1 would cancel under xor-folds), so assert the two values are
+// distinct, nonzero, and that the fold separates ALL 2^12 configurations
+// of a 12-node vector — exhaustive collision-freedom at certifier scale.
+TEST(SisState, HashValueSeparatesAllSmallConfigurations) {
+  EXPECT_NE(hashValue(BitState{true}), 0u);
+  EXPECT_NE(hashValue(BitState{false}), 0u);
+  EXPECT_NE(hashValue(BitState{true}), hashValue(BitState{false}));
+
+  const auto hashConfig = [](const std::vector<BitState>& config) {
+    std::uint64_t h = 0x243f6a8885a308d3ULL;
+    for (const BitState& s : config) h = hashCombine(h, hashValue(s));
+    return h;
+  };
+
+  constexpr std::size_t kBits = 12;
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t mask = 0; mask < (1u << kBits); ++mask) {
+    std::vector<BitState> config(kBits);
+    for (std::size_t b = 0; b < kBits; ++b) {
+      config[b].in = ((mask >> b) & 1u) != 0;
+    }
+    const auto [it, inserted] = seen.insert(hashConfig(config));
+    ASSERT_TRUE(inserted) << "configuration hash collision at mask " << mask;
+  }
 }
 
 TEST(SisProperties, IndependenceCanBreakTransientlyButRepairs) {

@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "../support/test_protocols.hpp"
 #include "analysis/verifiers.hpp"
+#include "core/kernels.hpp"
 #include "core/local_mutex.hpp"
 #include "core/sis.hpp"
 #include "core/smm.hpp"
 #include "engine/fault.hpp"
+#include "engine/sync_runner.hpp"
 #include "graph/generators.hpp"
 
 namespace selfstab::engine {
@@ -130,6 +134,138 @@ TEST(ParallelRunner, FixpointDetectionUsesIsStable) {
   const auto result = runner.run(states, 5000);
   ASSERT_TRUE(result.stabilized);
   EXPECT_TRUE(analysis::checkMatchingFixpoint(g, states).ok());
+}
+
+// Regression for the pooled isFixpoint sweep (formerly a serial scan on the
+// calling thread): it must agree with SyncRunner::isFixpoint on arbitrary
+// configurations — stable, unstable-at-one-vertex, and unstable-only-at-the-
+// last-vertex (the early-exit flag must not skip trailing chunks' verdicts).
+TEST(ParallelRunner, PooledFixpointMatchesSerial) {
+  graph::Rng rng(617);
+  const core::SmmProtocol smm = core::smmPaper();
+  const core::SisProtocol sis;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = graph::connectedErdosRenyi(30, 0.15, rng);
+    const auto ids = IdAssignment::identity(g.order());
+    SyncRunner<PointerState> serial(smm, g, ids, 5);
+    ParallelSyncRunner<PointerState> pooled(smm, g, ids, 4, 5);
+
+    // Arbitrary (mostly unstable) configuration.
+    auto states = engine::randomConfiguration<PointerState>(
+        g, rng, core::wildPointerState);
+    EXPECT_EQ(serial.isFixpoint(states), pooled.isFixpoint(states))
+        << "trial " << trial;
+
+    // Converged configuration: both must report a fixpoint.
+    serial.run(states, 2 * g.order() + 1);
+    ASSERT_TRUE(serial.isFixpoint(states)) << "trial " << trial;
+    EXPECT_TRUE(pooled.isFixpoint(states)) << "trial " << trial;
+
+    // Perturb exactly one vertex — including the very last one, which only
+    // the final worker's chunk sees.
+    for (const graph::Vertex v :
+         {graph::Vertex{0}, static_cast<graph::Vertex>(g.order() - 1)}) {
+      auto poked = states;
+      poked[v].ptr = poked[v].ptr == graph::kNoVertex ? v : graph::kNoVertex;
+      EXPECT_EQ(serial.isFixpoint(poked), pooled.isFixpoint(poked))
+          << "trial " << trial << " vertex " << v;
+    }
+  }
+  // SIS spot-check with the flat kernel installed: the stability sweep must
+  // stay on the generic view path (external states may not match the mirror).
+  const Graph g = graph::star(17);
+  const auto ids = IdAssignment::identity(g.order());
+  SyncRunner<BitState> serial(sis, g, ids, 5);
+  ParallelSyncRunner<BitState> pooled(sis, g, ids, 4, 5);
+  pooled.setKernel(core::makeFlatKernel<BitState>(sis, g, ids));
+  std::vector<BitState> all(g.order(), BitState{true});
+  EXPECT_EQ(serial.isFixpoint(all), pooled.isFixpoint(all));
+  std::vector<BitState> none(g.order(), BitState{false});
+  EXPECT_EQ(serial.isFixpoint(none), pooled.isFixpoint(none));
+}
+
+// Degree-weighted partition boundaries: monotone, covering, degenerate-safe,
+// and actually balancing weight (not count) across parts.
+TEST(ParallelRunner, WeightedBoundaries) {
+  // Zero items.
+  const auto none = weightedBoundaries(0, 4, [](std::size_t) { return 1; });
+  ASSERT_EQ(none.size(), 5u);
+  for (const std::size_t b : none) EXPECT_EQ(b, 0u);
+
+  // Zero parts clamps to one.
+  const auto one = weightedBoundaries(5, 0, [](std::size_t) { return 2; });
+  ASSERT_EQ(one.size(), 2u);
+  EXPECT_EQ(one.front(), 0u);
+  EXPECT_EQ(one.back(), 5u);
+
+  // All-zero weights fall back to equal-count chunks.
+  const auto flat = weightedBoundaries(8, 4, [](std::size_t) { return 0; });
+  const std::vector<std::size_t> expectFlat{0, 2, 4, 6, 8};
+  EXPECT_EQ(flat, expectFlat);
+
+  // One heavy item: it lands alone in the first part, the light tail is
+  // spread over the rest.
+  const auto skew = weightedBoundaries(
+      9, 3, [](std::size_t i) { return i == 0 ? std::size_t{100} : 1; });
+  ASSERT_EQ(skew.size(), 4u);
+  EXPECT_EQ(skew.front(), 0u);
+  EXPECT_EQ(skew.back(), 9u);
+  EXPECT_EQ(skew[1], 1u);  // the hub fills part 0 on its own
+
+  // Property sweep: boundaries are sorted, cover [0, count], and no part's
+  // weight exceeds total/parts + the heaviest single item (the prefix rule's
+  // worst case).
+  graph::Rng rng(907);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t count = rng.below(200);
+    const std::size_t parts = 1 + rng.below(8);
+    std::vector<std::size_t> weights(count);
+    std::size_t total = 0;
+    std::size_t heaviest = 0;
+    for (auto& w : weights) {
+      w = rng.below(20);
+      total += w;
+      heaviest = std::max(heaviest, w);
+    }
+    const auto bounds =
+        weightedBoundaries(count, parts, [&](std::size_t i) { return weights[i]; });
+    ASSERT_EQ(bounds.size(), parts + 1);
+    EXPECT_EQ(bounds.front(), 0u);
+    EXPECT_EQ(bounds.back(), count);
+    for (std::size_t p = 0; p < parts; ++p) {
+      ASSERT_LE(bounds[p], bounds[p + 1]) << "trial " << trial;
+      if (total == 0) continue;
+      std::size_t partWeight = 0;
+      for (std::size_t i = bounds[p]; i < bounds[p + 1]; ++i) {
+        partWeight += weights[i];
+      }
+      EXPECT_LE(partWeight, total / parts + heaviest + 1)
+          << "trial " << trial << " part " << p;
+    }
+  }
+}
+
+// The flat kernel on the pool must match the serial generic runner through
+// full runs — the narrow regression companion to the KernelDifferential
+// stress suite.
+TEST(ParallelRunner, FlatKernelRunMatchesSerialGeneric) {
+  graph::Rng rng(619);
+  const core::SmmProtocol smm = core::smmPaper();
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = graph::preferentialAttachment(40, 3, rng);
+    const auto ids = IdAssignment::identity(g.order());
+    auto serialStates = engine::randomConfiguration<PointerState>(
+        g, rng, core::wildPointerState);
+    auto pooledStates = serialStates;
+
+    SyncRunner<PointerState> serial(smm, g, ids, 7);
+    ParallelSyncRunner<PointerState> pooled(smm, g, ids, 4, 7);
+    pooled.setKernel(core::makeFlatKernel<PointerState>(smm, g, ids));
+    const auto sr = serial.run(serialStates, 2 * g.order() + 8);
+    const auto pr = pooled.run(pooledStates, 2 * g.order() + 8);
+    EXPECT_TRUE(sr == pr) << "trial " << trial;
+    EXPECT_TRUE(serialStates == pooledStates) << "trial " << trial;
+  }
 }
 
 }  // namespace

@@ -111,6 +111,34 @@ TEST(ViewBuilder, FindMatchesAdjacencyExhaustively) {
   }
 }
 
+// Targeted binary-search boundaries for LocalView::find: the empty span,
+// the first and last entries, probes that land in gaps between entries,
+// and probes beyond both ends.
+TEST(ViewBuilder, FindBinarySearchEdgeCases) {
+  Graph g(12);
+  g.addEdge(4, 0);
+  g.addEdge(4, 5);
+  g.addEdge(4, 9);
+  const auto ids = IdAssignment::identity(12);
+  ViewBuilder<ValueState> builder(g, ids);
+  const std::vector<ValueState> states(12);
+
+  const auto empty = builder.build(11, states);  // isolated: empty span
+  EXPECT_EQ(empty.find(0), nullptr);
+  EXPECT_EQ(empty.find(11), nullptr);
+
+  const auto view = builder.build(4, states);  // neighbors {0, 5, 9}
+  ASSERT_EQ(view.neighbors.size(), 3u);
+  EXPECT_NE(view.find(0), nullptr);  // first entry
+  EXPECT_NE(view.find(5), nullptr);  // middle entry
+  EXPECT_NE(view.find(9), nullptr);  // last entry
+  EXPECT_EQ(view.find(1), nullptr);  // gap after first
+  EXPECT_EQ(view.find(4), nullptr);  // self, in a gap
+  EXPECT_EQ(view.find(6), nullptr);  // gap before last
+  EXPECT_EQ(view.find(10), nullptr); // past the last entry
+  EXPECT_EQ(view.find(graph::kNoVertex), nullptr);
+}
+
 // The CSR mirror exposed via neighborsOf must equal Graph::neighbors and
 // revalidate across arbitrary mutation sequences (Graph::version bumps).
 TEST(ViewBuilder, NeighborsOfMirrorsGraphAcrossMutations) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "graph/algorithms.hpp"
 
 namespace selfstab::graph {
@@ -160,6 +162,36 @@ TEST(Generators, ConnectedErdosRenyiIsConnected) {
     const Graph g = connectedErdosRenyi(30, 0.02, rng);
     EXPECT_TRUE(isConnected(g));
   }
+}
+
+TEST(Generators, PreferentialAttachmentShapeAndDeterminism) {
+  Rng rng(9);
+  const Graph g = preferentialAttachment(60, 3, rng);
+  EXPECT_EQ(g.order(), 60u);
+  EXPECT_TRUE(isConnected(g));
+  // Vertex v contributes min(v, m) fresh edges, all simple.
+  std::size_t expected = 0;
+  for (std::size_t v = 1; v < 60; ++v) expected += std::min<std::size_t>(v, 3);
+  EXPECT_EQ(g.size(), expected);
+  for (Vertex v = 3; v < 60; ++v) EXPECT_GE(g.degree(v), 3u);
+
+  Rng rngA(10), rngB(10), rngC(11);
+  const Graph a = preferentialAttachment(40, 2, rngA);
+  EXPECT_EQ(a, preferentialAttachment(40, 2, rngB));
+  EXPECT_NE(a, preferentialAttachment(40, 2, rngC));
+}
+
+TEST(Generators, PreferentialAttachmentSkewsDegrees) {
+  // The rich-get-richer dynamic must produce a hub far above the mean degree
+  // (this heavy tail is what the degree-weighted partitioner exists for).
+  Rng rng(12);
+  const Graph g = preferentialAttachment(400, 2, rng);
+  std::size_t maxDeg = 0;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    maxDeg = std::max<std::size_t>(maxDeg, g.degree(v));
+  }
+  const double mean = 2.0 * static_cast<double>(g.size()) / 400.0;
+  EXPECT_GT(static_cast<double>(maxDeg), 4.0 * mean);
 }
 
 TEST(Generators, RandomGeometricReturnsPoints) {
